@@ -1,0 +1,1606 @@
+//! The all-flash array simulator: request pipeline + autonomic manager.
+//!
+//! A request travels `host → RC queue → switch → endpoint → ONFi bus →
+//! FIMM → bus → endpoint → switch → RC → host`, contending at every
+//! shared resource. The autonomic manager observes completions and
+//! queue pressure, detects hot clusters (Eq. 1) and laggards (Eq. 3 /
+//! queue examination), and reshapes the physical data layout in the
+//! background (data migration with shadow cloning, intra-cluster
+//! reshaping, write redirection).
+
+use triplea_flash::{FlashCommand, OpKind, WearReport};
+use triplea_ftl::{hal, Ftl, FtlError, LogicalPage};
+use triplea_pcie::{Admission, ClusterId, RootComplex, Switch};
+use triplea_sim::stats::{Histogram, Series};
+use triplea_sim::{EventQueue, Nanos, SimTime};
+
+use crate::autonomic::AutonomicState;
+use crate::cluster::ClusterState;
+use crate::config::{ArrayConfig, ManagementMode};
+use crate::metrics::RunReport;
+use crate::request::{Breakdown, IoOp, RequestState, Stage, Trace};
+
+/// TLP framing overhead per 4 KB payload segment.
+const TLP_OVERHEAD: u64 = 24;
+
+#[derive(Clone, Debug)]
+enum Ev {
+    Submit(u32),
+    RcGranted(u32),
+    SwAdmit(u32),
+    SwGranted(u32),
+    ArriveSw(u32),
+    EpAdmit(u32),
+    EpGranted(u32),
+    ArriveEp(u32),
+    EpService(u32),
+    PartFlashDone {
+        req: u32,
+        fimm: u32,
+        pages: u32,
+    },
+    PartDataDone(u32),
+    EpFree(u32),
+    WriteProgrammed {
+        cluster: u32,
+        fimm: u32,
+        pages: u32,
+    },
+    RespAtSw(u32),
+    RespAtRc(u32),
+    Complete(u32),
+    MigArrive(u32),
+    MigPageDone {
+        reloc: u32,
+        idx: u32,
+        cluster: u32,
+        fimm: u32,
+    },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RelocKind {
+    Migration,
+    Reshape,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct RelocPage {
+    lpn: u64,
+    /// Where the data lived when the relocation was decided.
+    old: triplea_ftl::PhysLoc,
+    /// Destination of the clone, once allocated.
+    new: Option<triplea_ftl::PhysLoc>,
+}
+
+#[derive(Clone, Debug)]
+struct Reloc {
+    pages: Vec<RelocPage>,
+    kind: RelocKind,
+    remaining: u32,
+}
+
+struct Engine {
+    cfg: ArrayConfig,
+    mode: ManagementMode,
+    ftl: Ftl,
+    rc: RootComplex,
+    switches: Vec<Switch>,
+    clusters: Vec<ClusterState>,
+    auto: AutonomicState,
+    reqs: Vec<RequestState>,
+    relocs: Vec<Reloc>,
+    /// Destination cluster (global index) of each in-flight migration.
+    mig_dst: Vec<(u32, u32)>,
+    queue: EventQueue<Ev>,
+    // metrics
+    completed: u64,
+    reads_done: u64,
+    writes_done: u64,
+    first_submit: SimTime,
+    last_complete: SimTime,
+    lat: Histogram,
+    rlat: Histogram,
+    wlat: Histogram,
+    bd_sum: Breakdown,
+    /// Queue-stall time attributed to link congestion (see
+    /// `RunReport::avg_link_contention_us`).
+    attr_link: u64,
+    /// Queue-stall time attributed to storage congestion.
+    attr_storage: u64,
+    series: Series,
+    events: u64,
+    foreign_pages: u64,
+    dropped_writes: u64,
+}
+
+/// The Triple-A all-flash array (or its non-autonomic baseline).
+///
+/// Construct with [`Array::new`], then [`Array::run`] a [`Trace`] through
+/// it to obtain a [`RunReport`]. Runs are deterministic: the same config,
+/// mode, and trace always produce identical reports.
+///
+/// # Example
+///
+/// ```
+/// use triplea_core::{Array, ArrayConfig, IoOp, ManagementMode, Trace, TraceRequest};
+/// use triplea_ftl::LogicalPage;
+/// use triplea_sim::SimTime;
+///
+/// let trace = Trace::new(vec![TraceRequest {
+///     at: SimTime::ZERO,
+///     op: IoOp::Read,
+///     lpn: LogicalPage(0),
+///     pages: 1,
+/// }]);
+/// let report = Array::new(ArrayConfig::small_test(), ManagementMode::Autonomic).run(&trace);
+/// assert_eq!(report.completed(), 1);
+/// ```
+pub struct Array {
+    e: Engine,
+}
+
+impl std::fmt::Debug for Array {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Array")
+            .field("mode", &self.e.mode)
+            .field("clusters", &self.e.clusters.len())
+            .finish()
+    }
+}
+
+impl Array {
+    /// Builds an idle array from a configuration.
+    pub fn new(cfg: ArrayConfig, mode: ManagementMode) -> Self {
+        let topo = cfg.shape.topology;
+        let clusters = topo
+            .iter_clusters()
+            .map(|id| ClusterState::new(&cfg, id))
+            .collect();
+        let mut ftl = if cfg.mapping_cache_pages > 0 {
+            Ftl::with_mapping_cache(cfg.shape, cfg.mapping_cache_pages)
+        } else {
+            Ftl::new(cfg.shape)
+        };
+        ftl.set_gc_policy(cfg.gc_policy);
+        Array {
+            e: Engine {
+                ftl,
+                rc: RootComplex::new(&cfg.pcie),
+                switches: (0..topo.switches)
+                    .map(|_| Switch::new(&cfg.pcie, topo.clusters_per_switch))
+                    .collect(),
+                clusters,
+                auto: AutonomicState::new(cfg.autonomic, cfg.seed),
+                reqs: Vec::new(),
+                relocs: Vec::new(),
+                mig_dst: Vec::new(),
+                queue: EventQueue::new(),
+                completed: 0,
+                reads_done: 0,
+                writes_done: 0,
+                first_submit: SimTime::MAX,
+                last_complete: SimTime::ZERO,
+                lat: Histogram::new(),
+                rlat: Histogram::new(),
+                wlat: Histogram::new(),
+                bd_sum: Breakdown::default(),
+                attr_link: 0,
+                attr_storage: 0,
+                series: Series::new(),
+                events: 0,
+                foreign_pages: 0,
+                dropped_writes: 0,
+                mode,
+                cfg,
+            },
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ArrayConfig {
+        &self.e.cfg
+    }
+
+    /// The management mode in force.
+    pub fn mode(&self) -> ManagementMode {
+        self.e.mode
+    }
+
+    /// Replays `trace` through the array to completion and reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a trace record has `pages == 0` or addresses a page
+    /// outside the array.
+    pub fn run(mut self, trace: &Trace) -> RunReport {
+        let total_pages = self.e.cfg.shape.total_pages();
+        for (i, r) in trace.requests().iter().enumerate() {
+            assert!(r.pages >= 1, "request {i} has zero pages");
+            assert!(
+                r.lpn.0 + r.pages as u64 <= total_pages,
+                "request {i} exceeds the address space"
+            );
+            self.e.reqs.push(RequestState::new(r));
+            self.e.queue.push(r.at, Ev::Submit(i as u32));
+            self.e.first_submit = self.e.first_submit.min(r.at);
+        }
+        if trace.is_empty() {
+            self.e.first_submit = SimTime::ZERO;
+        }
+        while let Some((now, ev)) = self.e.queue.pop() {
+            self.e.events += 1;
+            self.e.handle(now, ev);
+        }
+        self.e.into_report()
+    }
+}
+
+impl Engine {
+    fn page_bytes(&self) -> u64 {
+        self.cfg.shape.flash.page_size as u64
+    }
+
+    /// Wire bytes for `pages` pages, one TLP per page plus framing.
+    fn wire_bytes(&self, pages: u32) -> u64 {
+        pages as u64 * (self.page_bytes() + TLP_OVERHEAD)
+    }
+
+    fn down_bytes(&self, op: IoOp, pages: u32) -> u64 {
+        match op {
+            IoOp::Read => TLP_OVERHEAD,
+            IoOp::Write => self.wire_bytes(pages),
+        }
+    }
+
+    fn resp_bytes(&self, op: IoOp, pages: u32) -> u64 {
+        match op {
+            IoOp::Read => self.wire_bytes(pages),
+            IoOp::Write => TLP_OVERHEAD,
+        }
+    }
+
+    fn cluster_global(&self, id: ClusterId) -> u32 {
+        self.cfg.shape.topology.global_index(id)
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::Submit(r) => self.on_submit(now, r),
+            Ev::RcGranted(r) => self.on_rc_granted(now, r),
+            Ev::SwAdmit(r) => self.on_sw_admit(now, r),
+            Ev::SwGranted(r) => self.on_sw_granted(now, r),
+            Ev::ArriveSw(r) => self.on_arrive_sw(now, r),
+            Ev::EpAdmit(r) => self.on_ep_admit(now, r),
+            Ev::EpGranted(r) => self.on_ep_granted(now, r),
+            Ev::ArriveEp(r) => self.on_arrive_ep(now, r),
+            Ev::EpService(r) => self.on_ep_service(now, r),
+            Ev::PartFlashDone { req, fimm, pages } => {
+                self.on_part_flash_done(now, req, fimm, pages)
+            }
+            Ev::PartDataDone(r) => self.on_part_data_done(now, r),
+            Ev::EpFree(c) => self.on_ep_free(now, c),
+            Ev::WriteProgrammed {
+                cluster,
+                fimm,
+                pages,
+            } => self.on_write_programmed(now, cluster, fimm, pages),
+            Ev::RespAtSw(r) => self.on_resp_at_sw(now, r),
+            Ev::RespAtRc(r) => self.on_resp_at_rc(now, r),
+            Ev::Complete(r) => self.on_complete(now, r),
+            Ev::MigArrive(m) => self.on_mig_arrive(now, m),
+            Ev::MigPageDone {
+                reloc,
+                idx,
+                cluster,
+                fimm,
+            } => self.on_mig_page_done(now, reloc, idx, cluster, fimm),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Downstream pipeline
+    // ------------------------------------------------------------------
+
+    fn on_submit(&mut self, now: SimTime, r: u32) {
+        self.reqs[r as usize].wait_since = now;
+        self.reqs[r as usize].stage = Stage::AtRc;
+        match self.rc.queue.admit(r as u64) {
+            Admission::Admitted => self.queue.push(now, Ev::RcGranted(r)),
+            Admission::Queued => {} // woken by on_complete's release
+        }
+    }
+
+    fn on_rc_granted(&mut self, now: SimTime, r: u32) {
+        let (lpn, pages, wait_since) = {
+            let rs = &self.reqs[r as usize];
+            (rs.lpn, rs.pages, rs.wait_since)
+        };
+        // Pin physical locations at routing time: migrations that land
+        // while this request is in flight keep the old copy readable.
+        let locs: Vec<_> = (0..pages)
+            .map(|i| self.ftl.locate(LogicalPage(lpn.0 + i as u64)))
+            .collect();
+        let cluster = self.cluster_global(locs[0].cluster);
+        {
+            let rs = &mut self.reqs[r as usize];
+            rs.bd.rc_stall += now - wait_since;
+            rs.locs = locs;
+            rs.cluster = cluster;
+        }
+        self.clusters[cluster as usize].served += 1;
+        // Address translation happens here, at the management module. A
+        // DFTL-style mapping-cache miss costs a flash read of the
+        // translation page from the request's home FIMM.
+        let mut t = now + self.cfg.pcie.rc_route_ns;
+        if !self.ftl.map_access(lpn) {
+            let loc = self.reqs[r as usize].locs[0];
+            let c = cluster as usize;
+            let pb = self.page_bytes();
+            let xfer = self.clusters[c].bus.transfer(now, pb);
+            let rd = self.clusters[c].fimms[loc.fimm as usize]
+                .begin_op(now, loc.addr.package, &FlashCommand::read(loc.addr.page))
+                .expect("translation-page read is valid");
+            t = t.max(xfer.end).max(rd.end);
+            let rs = &mut self.reqs[r as usize];
+            rs.bd.fimm_service += rd.end - rd.start;
+        }
+        self.queue.push(t, Ev::SwAdmit(r));
+    }
+
+    fn on_sw_admit(&mut self, now: SimTime, r: u32) {
+        self.reqs[r as usize].wait_since = now;
+        self.reqs[r as usize].stage = Stage::AtSwitch;
+        let s = self.switch_of(r);
+        let p = self.port_of(r);
+        match self.switches[s].port_queues[p].admit(r as u64) {
+            Admission::Admitted => self.queue.push(now, Ev::SwGranted(r)),
+            Admission::Queued => {}
+        }
+    }
+
+    fn switch_of(&self, r: u32) -> usize {
+        (self.reqs[r as usize].cluster / self.cfg.shape.topology.clusters_per_switch) as usize
+    }
+
+    fn port_of(&self, r: u32) -> usize {
+        (self.reqs[r as usize].cluster % self.cfg.shape.topology.clusters_per_switch) as usize
+    }
+
+    fn on_sw_granted(&mut self, now: SimTime, r: u32) {
+        let wait_since = self.reqs[r as usize].wait_since;
+        self.reqs[r as usize].bd.switch_stall += now - wait_since;
+        let (op, pages) = {
+            let rs = &self.reqs[r as usize];
+            (rs.op, rs.pages)
+        };
+        let bytes = self.down_bytes(op, pages);
+        let s = self.switch_of(r);
+        let res = self.switches[s].uplink.down.transmit(now, bytes);
+        self.reqs[r as usize].bd.pcie_wait += res.wait;
+        let arrive = self.switches[s].uplink.down.arrival(res.end);
+        self.queue.push(arrive, Ev::ArriveSw(r));
+    }
+
+    fn on_arrive_sw(&mut self, now: SimTime, r: u32) {
+        let t = now + self.cfg.pcie.switch_route_ns;
+        self.queue.push(t, Ev::EpAdmit(r));
+    }
+
+    fn on_ep_admit(&mut self, now: SimTime, r: u32) {
+        self.reqs[r as usize].wait_since = now;
+        let c = self.reqs[r as usize].cluster as usize;
+        match self.clusters[c].ep.queue.admit(r as u64) {
+            Admission::Admitted => self.queue.push(now, Ev::EpGranted(r)),
+            Admission::Queued => {
+                self.reqs[r as usize].stalled_at_ep = true;
+                if self.mode == ManagementMode::Autonomic
+                    && self.auto.params().laggard.examines_queue()
+                {
+                    self.examine_queue(now, c as u32);
+                }
+            }
+        }
+    }
+
+    /// Queue-examination laggard detection (paper §4.2, Figure 8): when
+    /// the EP queue has no room, count stalled entries per target FIMM;
+    /// the plurality holder is a laggard, and near-uniform stalling means
+    /// *all* FIMMs are laggards (escalate to inter-cluster migration).
+    fn examine_queue(&mut self, now: SimTime, cluster: u32) {
+        let n_fimms = self.cfg.shape.fimms_per_cluster as usize;
+        let waiters: Vec<u32> = self.clusters[cluster as usize]
+            .ep
+            .queue
+            .waiter_ids()
+            .map(|w| w as u32)
+            .collect();
+        if waiters.len() < 2 {
+            return;
+        }
+        let mut counts = vec![0u32; n_fimms];
+        for &w in &waiters {
+            if let Some(loc) = self.reqs[w as usize].locs.first() {
+                counts[loc.fimm as usize] += 1;
+            }
+        }
+        let max = counts.iter().copied().max().unwrap_or(0);
+        let min = counts.iter().copied().min().unwrap_or(0);
+        if max == 0 {
+            return;
+        }
+        // A full queue only signals *storage* contention when the FIMMs
+        // actually hold stalled work beyond the SLA budget (otherwise
+        // the pile-up is a link problem, handled by Eq. 1 migration).
+        let sla = self.auto.params().sla_ns;
+        let backlog_of = |f: u32| {
+            self.cfg
+                .eq3_backlog_ns(self.clusters[cluster as usize].fimm_read_backlog_pages(f))
+        };
+        if max - min <= 1 && waiters.len() >= n_fimms * 2 {
+            // All FIMMs look equally stalled: escalate (§4.2) — but only
+            // if every FIMM really holds stalled work, and at most once
+            // per cooldown window per cluster.
+            if (0..n_fimms as u32).all(|f| backlog_of(f) > sla)
+                && self.auto.register_escalation(cluster, now)
+            {
+                for &w in &waiters {
+                    self.reqs[w as usize].escalate = true;
+                }
+            }
+            return;
+        }
+        let laggard = counts.iter().position(|&c| c == max).unwrap_or(0) as u32;
+        if backlog_of(laggard) <= sla {
+            return;
+        }
+        let min_other = (0..n_fimms as u32)
+            .filter(|&f| f != laggard)
+            .map(|f| self.clusters[cluster as usize].fimm_read_backlog_pages(f))
+            .min()
+            .unwrap_or(0);
+        let laggard_backlog = self.clusters[cluster as usize].fimm_read_backlog_pages(laggard);
+        if (laggard_backlog as f64)
+            < self.cfg.autonomic.laggard_imbalance * (min_other.max(1) as f64)
+        {
+            return;
+        }
+        // Repair traffic in progress on this FIMM: the stall is our own
+        // doing, not a layout problem.
+        if self.clusters[cluster as usize].pending_prog_pages[laggard as usize] > 0 {
+            return;
+        }
+        if !self.auto.register_laggard(cluster, laggard, now) {
+            return;
+        }
+        for &w in &waiters {
+            let rs = &mut self.reqs[w as usize];
+            if rs.locs.first().map(|l| l.fimm) == Some(laggard) {
+                rs.laggard_fimm = Some(laggard);
+            }
+        }
+    }
+
+    fn on_ep_granted(&mut self, now: SimTime, r: u32) {
+        let wait_since = self.reqs[r as usize].wait_since;
+        self.reqs[r as usize].bd.switch_stall += now - wait_since;
+        let (op, pages) = {
+            let rs = &self.reqs[r as usize];
+            (rs.op, rs.pages)
+        };
+        let bytes = self.down_bytes(op, pages);
+        let s = self.switch_of(r);
+        let p = self.port_of(r);
+        let res = self.switches[s].downlinks[p].down.transmit(now, bytes);
+        self.reqs[r as usize].bd.pcie_wait += res.wait;
+        let arrive = self.switches[s].downlinks[p].down.arrival(res.end);
+        self.queue.push(arrive, Ev::ArriveEp(r));
+    }
+
+    fn on_arrive_ep(&mut self, now: SimTime, r: u32) {
+        self.reqs[r as usize].stage = Stage::AtEp;
+        let s = self.switch_of(r);
+        let p = self.port_of(r);
+        if let Some(next) = self.switches[s].port_queues[p].release() {
+            self.queue.push(now, Ev::SwGranted(next as u32));
+        }
+        let t = now + self.cfg.pcie.ep_device_ns;
+        self.queue.push(t, Ev::EpService(r));
+    }
+
+    // ------------------------------------------------------------------
+    // Flash service
+    // ------------------------------------------------------------------
+
+    fn on_ep_service(&mut self, now: SimTime, r: u32) {
+        self.reqs[r as usize].stage = Stage::Flash;
+        self.reqs[r as usize].flash_start = now;
+        match self.reqs[r as usize].op {
+            IoOp::Read => self.issue_flash_reads(now, r),
+            IoOp::Write => {
+                let pages = self.reqs[r as usize].pages as usize;
+                let c = self.reqs[r as usize].cluster as usize;
+                if self.clusters[c].wbuf_free() >= pages {
+                    self.clusters[c].wbuf_used += pages;
+                    self.do_write(now, r);
+                } else {
+                    self.reqs[r as usize].wait_since = now;
+                    self.reqs[r as usize].stalled_wbuf = true;
+                    self.clusters[c].wbuf_waiters.push_back(r);
+                }
+            }
+        }
+    }
+
+    fn issue_flash_reads(&mut self, now: SimTime, r: u32) {
+        let (locs, cluster) = {
+            let rs = &self.reqs[r as usize];
+            (rs.locs.clone(), rs.cluster)
+        };
+        let c = cluster as usize;
+        let n_fimms = self.cfg.shape.fimms_per_cluster;
+
+        // Group the request's pages by FIMM (pages that migrated away
+        // mid-flight are served locally as a fallback).
+        let mut by_fimm: Vec<Vec<triplea_fimm::FimmAddr>> = vec![Vec::new(); n_fimms as usize];
+        for loc in &locs {
+            let fimm = if self.cluster_global(loc.cluster) == cluster {
+                loc.fimm
+            } else {
+                self.foreign_pages += 1;
+                loc.fimm % n_fimms
+            };
+            by_fimm[fimm as usize].push(loc.addr);
+        }
+
+        let sla = self.auto.params().sla_ns;
+        let monitors =
+            self.mode == ManagementMode::Autonomic && self.auto.params().laggard.monitors_latency();
+
+        for (fimm, addrs) in by_fimm.into_iter().enumerate() {
+            if addrs.is_empty() {
+                continue;
+            }
+            for cc in hal::compose(OpKind::Read, &addrs) {
+                let n = cc.cmd.page_count() as u32;
+                let cmd_res = self.clusters[c].bus.command_cycle(now);
+                let op = self.clusters[c].fimms[fimm]
+                    .begin_op(cmd_res.end, cc.package, &cc.cmd)
+                    .expect("composed read command is valid");
+                self.clusters[c].pending_read_pages[fimm] += n as u64;
+                {
+                    let rs = &mut self.reqs[r as usize];
+                    rs.bd.bus_wait += cmd_res.wait;
+                    rs.bd.die_wait += op.die_wait;
+                    rs.max_die_wait = rs.max_die_wait.max(op.die_wait);
+                    rs.bd.fimm_service += (cmd_res.end - cmd_res.start) + (op.end - op.start);
+                    rs.pending_parts += 1;
+                }
+                if monitors {
+                    // Eq. 3: the stalled work queued on this FIMM exceeds
+                    // the SLA budget -> laggard.
+                    let backlog = self.clusters[c].fimm_read_backlog_pages(fimm as u32);
+                    // Waits behind background relocation programs are
+                    // repair traffic, not host storage contention: skip
+                    // detection while this FIMM has programs in flight.
+                    let programs_pending = self.clusters[c].pending_prog_pages[fimm] > 0;
+                    if !programs_pending
+                        && self.cfg.eq3_backlog_ns(backlog.saturating_sub(1)) > sla
+                        && op.die_wait > sla
+                    {
+                        let min_other = (0..self.cfg.shape.fimms_per_cluster)
+                            .filter(|&f| f != fimm as u32)
+                            .map(|f| self.clusters[c].fimm_read_backlog_pages(f))
+                            .min()
+                            .unwrap_or(0);
+                        let imbalanced = backlog as f64
+                            >= self.cfg.autonomic.laggard_imbalance * (min_other.max(1) as f64);
+                        if imbalanced {
+                            // One FIMM holds the stalled work: reshape
+                            // its data onto the quiet siblings (§4.2).
+                            if self.auto.register_laggard(cluster, fimm as u32, now) {
+                                self.reqs[r as usize].laggard_fimm = Some(fimm as u32);
+                            }
+                        } else if self.cfg.eq3_backlog_ns(min_other) > sla
+                            && self.auto.register_escalation(cluster, now)
+                        {
+                            // Every FIMM is equally backlogged: reshaping
+                            // cannot help, escalate to inter-cluster
+                            // migration (§4.2, "all the FIMMs are
+                            // laggards").
+                            self.reqs[r as usize].escalate = true;
+                        }
+                    }
+                }
+                self.queue.push(
+                    op.end,
+                    Ev::PartFlashDone {
+                        req: r,
+                        fimm: fimm as u32,
+                        pages: n,
+                    },
+                );
+            }
+        }
+    }
+
+    fn on_part_flash_done(&mut self, now: SimTime, r: u32, fimm: u32, pages: u32) {
+        let c = self.reqs[r as usize].cluster as usize;
+        self.clusters[c].pending_read_pages[fimm as usize] -= pages as u64;
+        let bytes = pages as u64 * self.page_bytes();
+        let res = self.clusters[c].bus.transfer(now, bytes);
+        {
+            let rs = &mut self.reqs[r as usize];
+            rs.bd.bus_wait += res.wait;
+            rs.bd.fimm_service += res.end - res.start;
+        }
+        self.queue.push(res.end, Ev::PartDataDone(r));
+    }
+
+    fn on_part_data_done(&mut self, now: SimTime, r: u32) {
+        self.reqs[r as usize].pending_parts -= 1;
+        if self.reqs[r as usize].pending_parts > 0 {
+            return;
+        }
+        if self.mode == ManagementMode::Autonomic {
+            self.autonomic_read_complete(now, r);
+        }
+        self.respond(now, r);
+    }
+
+    // ------------------------------------------------------------------
+    // Autonomic management
+    // ------------------------------------------------------------------
+
+    fn autonomic_read_complete(&mut self, now: SimTime, r: u32) {
+        let (laggard, escalate, max_die_wait, flash_start, pages) = {
+            let rs = &self.reqs[r as usize];
+            (
+                rs.laggard_fimm,
+                rs.escalate,
+                rs.max_die_wait,
+                rs.flash_start,
+                rs.pages,
+            )
+        };
+        // Throttle: relocation programs are expensive (t_PROG each); cap
+        // how much background reshaping can be in flight at once.
+        if self.auto.inflight_pages() >= self.cfg.autonomic.max_inflight_reloc_pages {
+            return;
+        }
+        if let Some(f) = laggard {
+            // Act only on requests that really stalled on that FIMM, and
+            // only while the stall is not explained by repair programs.
+            let sla = self.auto.params().sla_ns;
+            let cl = self.reqs[r as usize].cluster as usize;
+            if max_die_wait > sla && self.clusters[cl].pending_prog_pages[f as usize] == 0 {
+                self.reshape_request_pages(now, r, f);
+            }
+            return;
+        }
+        let t_latency = now - flash_start;
+        let cluster = self.reqs[r as usize].cluster as usize;
+        let bus_busy = self.clusters[cluster].bus.windowed_utilization(now)
+            >= self.cfg.autonomic.hot_bus_threshold;
+        // A cluster currently absorbing relocation programs looks busy
+        // because of repair traffic; defer judgement until it drains.
+        let repairing = self.clusters[cluster]
+            .pending_prog_pages
+            .iter()
+            .any(|&p| p > 0);
+        let hot = max_die_wait == 0
+            && bus_busy
+            && !repairing
+            && t_latency >= self.cfg.eq1_threshold_ns(pages);
+        if hot {
+            self.auto.stats.hot_detections += 1;
+        }
+        if hot || escalate {
+            self.start_migration(now, r);
+        }
+    }
+
+    /// Intra-cluster data-layout reshaping (paper §4.2, Figure 8): move
+    /// this request's pages off the laggard FIMM onto the least-loaded
+    /// sibling, using shadow cloning (the data just arrived at the EP).
+    fn reshape_request_pages(&mut self, now: SimTime, r: u32, laggard: u32) {
+        let (lpn, pages, cluster) = {
+            let rs = &self.reqs[r as usize];
+            (rs.lpn, rs.pages, rs.cluster)
+        };
+        let c = cluster as usize;
+        let cluster_id = self.clusters[c].id;
+        let on_laggard: Vec<u64> = (0..pages as u64)
+            .map(|i| lpn.0 + i)
+            .filter(|&l| {
+                let loc = self.ftl.locate(LogicalPage(l));
+                self.cluster_global(loc.cluster) == cluster && loc.fimm == laggard
+            })
+            .collect();
+        let claimed = self.auto.claim_pages(on_laggard);
+        if claimed.is_empty() {
+            return;
+        }
+        let pages: Vec<RelocPage> = claimed
+            .iter()
+            .map(|&l| RelocPage {
+                lpn: l,
+                old: self.ftl.locate(LogicalPage(l)),
+                new: None,
+            })
+            .collect();
+        let n = pages.len() as u32;
+        let reloc_id = self.relocs.len() as u32;
+        self.relocs.push(Reloc {
+            pages,
+            kind: RelocKind::Reshape,
+            remaining: n,
+        });
+        self.auto.stats.pages_reshaped += n as u64;
+        let target = self.clusters[c].least_loaded_fimm(Some(laggard));
+        for idx in 0..n {
+            self.program_relocated_page(now, reloc_id, idx, cluster, cluster_id, target);
+        }
+    }
+
+    /// Issues the bus transfer + program that lands one relocated page on
+    /// `fimm` of cluster `cluster`. The FTL is *not* remapped yet — the
+    /// clone-then-unlink commit happens when the program completes
+    /// ([`Engine::on_mig_page_done`]), so readers keep using the original
+    /// copy in the meantime.
+    fn program_relocated_page(
+        &mut self,
+        now: SimTime,
+        reloc: u32,
+        idx: u32,
+        cluster: u32,
+        cluster_id: ClusterId,
+        fimm: u32,
+    ) {
+        let lpn = self.relocs[reloc as usize].pages[idx as usize].lpn;
+        let loc = match self.ftl.migrate_prepare(LogicalPage(lpn), cluster_id, fimm) {
+            Ok(loc) => loc,
+            Err(FtlError::OutOfSpace { .. }) => {
+                self.run_gc(now, cluster, fimm);
+                match self.ftl.migrate_prepare(LogicalPage(lpn), cluster_id, fimm) {
+                    Ok(loc) => loc,
+                    Err(_) => {
+                        // Give up on this page; account the reloc slot.
+                        self.finish_reloc_page(reloc, idx as usize);
+                        return;
+                    }
+                }
+            }
+            Err(e) => panic!("relocation failed: {e}"),
+        };
+        self.relocs[reloc as usize].pages[idx as usize].new = Some(loc);
+        let c = cluster as usize;
+        self.clusters[c].relocs_in += 1;
+        let pb = self.page_bytes();
+        let res = self.clusters[c].bus.transfer(now, pb);
+        let op = self.clusters[c].fimms[fimm as usize]
+            .begin_op(
+                res.end,
+                loc.addr.package,
+                &FlashCommand::program(loc.addr.page),
+            )
+            .expect("fresh page programs in order");
+        self.clusters[c].pending_prog_pages[fimm as usize] += 1;
+        self.queue.push(
+            op.end,
+            Ev::MigPageDone {
+                reloc,
+                idx,
+                cluster,
+                fimm,
+            },
+        );
+    }
+
+    fn finish_reloc_page(&mut self, reloc: u32, idx: usize) {
+        let rl = &mut self.relocs[reloc as usize];
+        let lpn = rl.pages[idx].lpn;
+        rl.remaining -= 1;
+        let done = rl.remaining == 0;
+        let kind = rl.kind;
+        self.auto.release_pages(&[lpn]);
+        if done && kind == RelocKind::Migration {
+            self.auto.stats.migrations_completed += 1;
+        }
+    }
+
+    /// Inter-cluster autonomic data migration (paper §4.1, Figure 7):
+    /// clone the hot extent to a cold sibling cluster under the same
+    /// switch, overlapping with the data's journey to the host (shadow
+    /// cloning), then unlink the original.
+    fn start_migration(&mut self, now: SimTime, r: u32) {
+        let (lpn, pages, cluster) = {
+            let rs = &self.reqs[r as usize];
+            (rs.lpn, rs.pages, rs.cluster)
+        };
+        let src_id = self.clusters[cluster as usize].id;
+        let extent = self.auto.params().migration_extent_pages.max(pages) as u64;
+        let base = lpn.0 - lpn.0 % extent;
+        let limit = self.cfg.shape.total_pages();
+
+        let candidates: Vec<u64> = (base..(base + extent).min(limit))
+            .filter(|&l| {
+                let loc = self.ftl.locate(LogicalPage(l));
+                self.cluster_global(loc.cluster) == cluster
+            })
+            .collect();
+        let claimed = self.auto.claim_pages(candidates);
+        if claimed.is_empty() {
+            return;
+        }
+        let topo = self.cfg.shape.topology;
+        let dst = {
+            let clusters = &self.clusters;
+            self.auto.pick_cold_sibling(
+                &topo,
+                src_id,
+                |g| clusters[g as usize].bus.windowed_utilization(now),
+                |g| clusters[g as usize].total_erases(),
+            )
+        };
+        let Some(dst_id) = dst else {
+            self.auto.release_pages(&claimed);
+            return;
+        };
+        self.auto.stats.migrations_started += 1;
+        self.auto.stats.pages_migrated += claimed.len() as u64;
+
+        // Shadow cloning: the request's own pages already sit in the EP;
+        // every other extent page (and, in naive mode, all of them) must
+        // be re-read from the hot cluster first, stealing bus and die
+        // time from foreground I/O (the Figure 16b vs 16c ablation).
+        let naive = self.auto.params().naive_migration;
+        let req_range = lpn.0..lpn.0 + pages as u64;
+        let c = cluster as usize;
+        let mut t_ready = now;
+        let pb = self.page_bytes();
+        for &l in &claimed {
+            let in_ep = !naive && req_range.contains(&l);
+            if in_ep {
+                continue;
+            }
+            let loc = self.ftl.locate(LogicalPage(l));
+            let fimm = loc.fimm as usize;
+            // Reserve the bus and the die at issue time: busy totals are
+            // exact and foreground traffic interleaves FIFO, instead of
+            // stalling behind idle-but-reserved busy-until gaps.
+            let xfer = self.clusters[c].bus.transfer(now, pb);
+            let op = self.clusters[c].fimms[fimm]
+                .begin_op(now, loc.addr.package, &FlashCommand::read(loc.addr.page))
+                .expect("migration re-read is valid");
+            t_ready = t_ready.max(xfer.end).max(op.end);
+        }
+
+        let reloc_pages: Vec<RelocPage> = claimed
+            .iter()
+            .map(|&l| RelocPage {
+                lpn: l,
+                old: self.ftl.locate(LogicalPage(l)),
+                new: None,
+            })
+            .collect();
+        let reloc_id = self.relocs.len() as u32;
+        self.relocs.push(Reloc {
+            pages: reloc_pages,
+            kind: RelocKind::Migration,
+            remaining: claimed.len() as u32,
+        });
+
+        // Peer-to-peer hop: source EP -> switch -> destination EP.
+        let s = (cluster / topo.clusters_per_switch) as usize;
+        let src_port = (cluster % topo.clusters_per_switch) as usize;
+        let dst_global = topo.global_index(dst_id);
+        let dst_port = (dst_global % topo.clusters_per_switch) as usize;
+        let bytes = self.wire_bytes(claimed.len() as u32);
+        let up = self.switches[s].downlinks[src_port]
+            .up
+            .transmit(t_ready, bytes);
+        let up_arrive = self.switches[s].downlinks[src_port].up.arrival(up.end);
+        let down = self.switches[s].downlinks[dst_port]
+            .down
+            .transmit(up_arrive + self.cfg.pcie.switch_route_ns, bytes);
+        let arrive = self.switches[s].downlinks[dst_port].down.arrival(down.end);
+
+        self.queue.push(arrive, Ev::MigArrive(reloc_id));
+        self.mig_dst.push((reloc_id, dst_global));
+    }
+
+    fn on_mig_arrive(&mut self, now: SimTime, m: u32) {
+        let dst_global = self
+            .mig_dst
+            .iter()
+            .find(|(id, _)| *id == m)
+            .map(|(_, d)| *d)
+            .expect("migration destination recorded");
+        let dst_id = self.clusters[dst_global as usize].id;
+        let n = self.relocs[m as usize].pages.len() as u32;
+        for idx in 0..n {
+            let fimm = self.clusters[dst_global as usize].least_loaded_fimm(None);
+            self.program_relocated_page(now, m, idx, dst_global, dst_id, fimm);
+        }
+    }
+
+    fn on_mig_page_done(&mut self, now: SimTime, reloc: u32, idx: u32, cluster: u32, fimm: u32) {
+        self.clusters[cluster as usize].pending_prog_pages[fimm as usize] -= 1;
+        // Clone-then-unlink: the copy is durable, switch readers over
+        // (unless a host write superseded the data mid-clone).
+        let page = self.relocs[reloc as usize].pages[idx as usize];
+        if let Some(new_loc) = page.new {
+            self.ftl
+                .migrate_commit(LogicalPage(page.lpn), new_loc, page.old);
+        }
+        self.maybe_gc(now, cluster, fimm);
+        self.finish_reloc_page(reloc, idx as usize);
+    }
+
+    // ------------------------------------------------------------------
+    // Writes
+    // ------------------------------------------------------------------
+
+    fn do_write(&mut self, now: SimTime, r: u32) {
+        let (lpn, pages, cluster, stalled) = {
+            let rs = &self.reqs[r as usize];
+            (rs.lpn, rs.pages, rs.cluster, rs.stalled_wbuf)
+        };
+        let c = cluster as usize;
+        let cluster_id = self.clusters[c].id;
+        let redirect = self.mode == ManagementMode::Autonomic && stalled;
+        for i in 0..pages as u64 {
+            let l = LogicalPage(lpn.0 + i);
+            let target = if redirect {
+                // §4.2: stalled writes are redirected to adjacent FIMMs
+                // within the same cluster.
+                let f = self.clusters[c].least_loaded_fimm(None);
+                self.auto.stats.write_redirects += 1;
+                Some((cluster_id, f))
+            } else {
+                None
+            };
+            let loc = match self.ftl.write_alloc(l, target) {
+                Ok(loc) => loc,
+                Err(FtlError::OutOfSpace { cluster: cid, fimm }) => {
+                    let g = self.cluster_global(cid);
+                    self.run_gc(now, g, fimm);
+                    match self.ftl.write_alloc(l, target) {
+                        Ok(loc) => loc,
+                        Err(_) => {
+                            // End of life: GC reclaimed nothing (every
+                            // block retired or still live). A real array
+                            // fails the write; we count it and release
+                            // the buffered page.
+                            self.dropped_writes += 1;
+                            self.clusters[c].wbuf_used -= 1;
+                            continue;
+                        }
+                    }
+                }
+                Err(e) => panic!("write allocation failed: {e}"),
+            };
+            let tc = self.cluster_global(loc.cluster) as usize;
+            let pb = self.page_bytes();
+            let res = self.clusters[tc].bus.transfer(now, pb);
+            let op = self.clusters[tc].fimms[loc.fimm as usize]
+                .begin_op(
+                    res.end,
+                    loc.addr.package,
+                    &FlashCommand::program(loc.addr.page),
+                )
+                .expect("fresh page programs in order");
+            self.clusters[tc].pending_prog_pages[loc.fimm as usize] += 1;
+            self.queue.push(
+                op.end,
+                Ev::WriteProgrammed {
+                    cluster: tc as u32,
+                    fimm: loc.fimm,
+                    pages: 1,
+                },
+            );
+        }
+        // Writes acknowledge as soon as they are buffered (paper §4.2).
+        self.respond(now, r);
+    }
+
+    fn on_write_programmed(&mut self, now: SimTime, cluster: u32, fimm: u32, pages: u32) {
+        let c = cluster as usize;
+        self.clusters[c].wbuf_used -= pages as usize;
+        self.clusters[c].pending_prog_pages[fimm as usize] -= pages as u64;
+        self.maybe_gc(now, cluster, fimm);
+        // Admit parked writes that now fit.
+        while let Some(&head) = self.clusters[c].wbuf_waiters.front() {
+            let need = self.reqs[head as usize].pages as usize;
+            if self.clusters[c].wbuf_free() < need {
+                break;
+            }
+            self.clusters[c].wbuf_waiters.pop_front();
+            self.clusters[c].wbuf_used += need;
+            let wait_since = self.reqs[head as usize].wait_since;
+            self.reqs[head as usize].bd.wbuf_wait += now - wait_since;
+            self.do_write(now, head);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Garbage collection
+    // ------------------------------------------------------------------
+
+    fn maybe_gc(&mut self, now: SimTime, cluster: u32, fimm: u32) {
+        let id = self.clusters[cluster as usize].id;
+        if self.ftl.needs_gc(id, fimm, self.cfg.gc_threshold_blocks) {
+            self.run_gc(now, cluster, fimm);
+            return;
+        }
+        // Opportunistic GC (§8 / refs [23, 24]): reclaim ahead of the
+        // hard threshold while the cluster's bus is quiet, so cleaning
+        // never lands on the critical path of foreground I/O.
+        if self.cfg.opportunistic_gc
+            && self.clusters[cluster as usize]
+                .bus
+                .windowed_utilization(now)
+                < 0.10
+            && self
+                .ftl
+                .needs_gc(id, fimm, self.cfg.gc_threshold_blocks * 8)
+        {
+            self.run_gc(now, cluster, fimm);
+        }
+    }
+
+    /// Runs one GC unit on a FIMM: metadata immediately, timing as
+    /// background bus/die reservations (the paper defers sophisticated
+    /// array-level GC scheduling to future work, §6.7).
+    fn run_gc(&mut self, now: SimTime, cluster: u32, fimm: u32) {
+        let id = self.clusters[cluster as usize].id;
+        let Some(work) = self.ftl.gc_pick(id, fimm) else {
+            return;
+        };
+        let c = cluster as usize;
+        let f = fimm as usize;
+        let valid = work.valid.clone();
+        let pb = self.page_bytes();
+        for lpn in valid {
+            let old = self.ftl.locate(lpn);
+            match self.ftl.gc_rewrite(lpn, &work) {
+                Ok(Some(new_loc)) => {
+                    // Read the live page out, move it over the bus, and
+                    // program its new home. All reservations are made at
+                    // issue time (FIFO per resource) — the die queues
+                    // naturally serialise the read before the erase below.
+                    let rd = self.clusters[c].fimms[f]
+                        .begin_op(now, old.addr.package, &FlashCommand::read(old.addr.page))
+                        .expect("gc read is valid");
+                    let _xfer = self.clusters[c].bus.transfer(now, 2 * pb);
+                    let pr = self.clusters[c].fimms[new_loc.fimm as usize]
+                        .begin_op(
+                            rd.end,
+                            new_loc.addr.package,
+                            &FlashCommand::program(new_loc.addr.page),
+                        )
+                        .expect("gc program is in order");
+                    let _ = pr;
+                }
+                Ok(None) => {}
+                Err(_) => break,
+            }
+        }
+        let erase_addr = triplea_flash::PageAddr {
+            die: work.die,
+            plane: self.cfg.shape.flash.plane_of_block(work.block),
+            block: work.block,
+            page: 0,
+        };
+        let _ =
+            self.clusters[c].fimms[f].begin_op(now, work.package, &FlashCommand::erase(erase_addr));
+        self.ftl.gc_finish(&work);
+    }
+
+    // ------------------------------------------------------------------
+    // Response path
+    // ------------------------------------------------------------------
+
+    fn respond(&mut self, now: SimTime, r: u32) {
+        self.reqs[r as usize].stage = Stage::Responding;
+        let (op, pages, cluster) = {
+            let rs = &self.reqs[r as usize];
+            (rs.op, rs.pages, rs.cluster)
+        };
+        let bytes = self.resp_bytes(op, pages);
+        let s = self.switch_of(r);
+        let p = self.port_of(r);
+        let t0 = now + self.cfg.pcie.ep_device_ns;
+        let res = self.switches[s].downlinks[p].up.transmit(t0, bytes);
+        self.reqs[r as usize].bd.pcie_wait += res.wait;
+        // The EP buffer entry frees once the response is on the wire.
+        self.queue.push(res.end, Ev::EpFree(cluster));
+        let arrive = self.switches[s].downlinks[p].up.arrival(res.end);
+        self.queue.push(arrive, Ev::RespAtSw(r));
+    }
+
+    fn on_ep_free(&mut self, now: SimTime, cluster: u32) {
+        if let Some(next) = self.clusters[cluster as usize].ep.queue.release() {
+            self.queue.push(now, Ev::EpGranted(next as u32));
+        }
+    }
+
+    fn on_resp_at_sw(&mut self, now: SimTime, r: u32) {
+        let (op, pages) = {
+            let rs = &self.reqs[r as usize];
+            (rs.op, rs.pages)
+        };
+        let bytes = self.resp_bytes(op, pages);
+        let s = self.switch_of(r);
+        let t0 = now + self.cfg.pcie.switch_route_ns;
+        let res = self.switches[s].uplink.up.transmit(t0, bytes);
+        self.reqs[r as usize].bd.pcie_wait += res.wait;
+        let arrive = self.switches[s].uplink.up.arrival(res.end);
+        self.queue.push(arrive, Ev::RespAtRc(r));
+    }
+
+    fn on_resp_at_rc(&mut self, now: SimTime, r: u32) {
+        let t = now + self.cfg.pcie.rc_route_ns;
+        self.queue.push(t, Ev::Complete(r));
+    }
+
+    fn on_complete(&mut self, now: SimTime, r: u32) {
+        let rs = &mut self.reqs[r as usize];
+        debug_assert!(!rs.done, "request completed twice");
+        rs.done = true;
+        rs.stage = Stage::Done;
+        let total = now - rs.submit;
+        let op = rs.op;
+        let submit = rs.submit;
+        let bd = rs.bd;
+        self.lat.record(total);
+        match op {
+            IoOp::Read => {
+                self.rlat.record(total);
+                self.reads_done += 1;
+            }
+            IoOp::Write => {
+                self.wlat.record(total);
+                self.writes_done += 1;
+            }
+        }
+        self.bd_sum.accumulate(&bd);
+        // Attribute queueing upstream of the cluster to its root cause,
+        // proportionally to this request's own downstream waits — the
+        // paper's Table 2 reports exactly this decomposition (its queue
+        // stall column equals link-contention + storage-contention).
+        let own_link = bd.link_contention();
+        let own_storage = bd.storage_contention();
+        let own = own_link + own_storage;
+        if own > 0 {
+            let q = bd.queue_stall() as u128;
+            self.attr_link += (q * own_link as u128 / own as u128) as u64;
+            self.attr_storage += (q * own_storage as u128 / own as u128) as u64;
+        }
+        if self.cfg.collect_series {
+            self.series.push(submit, total as f64 / 1_000.0);
+        }
+        self.completed += 1;
+        self.last_complete = self.last_complete.max(now);
+        if let Some(next) = self.rc.queue.release() {
+            self.queue.push(now, Ev::RcGranted(next as u32));
+        }
+    }
+
+    fn into_report(self) -> RunReport {
+        let mut wear = WearReport::default();
+        for c in &self.clusters {
+            for f in &c.fimms {
+                wear.merge(&f.wear_report());
+            }
+        }
+        RunReport {
+            mode: self.mode,
+            completed: self.completed,
+            reads: self.reads_done,
+            writes: self.writes_done,
+            first_submit: if self.first_submit == SimTime::MAX {
+                SimTime::ZERO
+            } else {
+                self.first_submit
+            },
+            last_complete: self.last_complete,
+            latency: self.lat,
+            read_latency: self.rlat,
+            write_latency: self.wlat,
+            bd_sum: self.bd_sum,
+            attr_link: self.attr_link,
+            attr_storage: self.attr_storage,
+            series: self.series,
+            per_cluster_requests: self.clusters.iter().map(|c| c.served).collect(),
+            per_cluster_relocs_in: self.clusters.iter().map(|c| c.relocs_in).collect(),
+            dropped_writes: self.dropped_writes,
+            autonomic: self.auto.stats,
+            ftl: self.ftl.stats(),
+            wear,
+            events: self.events,
+        }
+    }
+}
+
+/// Convenience: nanoseconds between two instants as `Nanos`.
+#[allow(dead_code)]
+fn dur(a: SimTime, b: SimTime) -> Nanos {
+    b - a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::TraceRequest;
+
+    fn read_at(us: u64, lpn: u64) -> TraceRequest {
+        TraceRequest {
+            at: SimTime::from_us(us),
+            op: IoOp::Read,
+            lpn: LogicalPage(lpn),
+            pages: 1,
+        }
+    }
+
+    fn write_at(us: u64, lpn: u64) -> TraceRequest {
+        TraceRequest {
+            at: SimTime::from_us(us),
+            op: IoOp::Write,
+            lpn: LogicalPage(lpn),
+            pages: 1,
+        }
+    }
+
+    /// Reads that recycle a dense hot region of cluster 0 at a rate the
+    /// shared ONFi bus cannot sustain: the canonical hot-cluster
+    /// scenario. Consecutive pages stripe across every FIMM, package and
+    /// die, so the bus (not the dies) is the bottleneck.
+    fn hot_read_trace(n: u64, gap_ns: u64) -> Trace {
+        (0..n)
+            .map(|i| TraceRequest {
+                at: SimTime::from_nanos(i * gap_ns),
+                op: IoOp::Read,
+                lpn: LogicalPage(i % 2_048),
+                pages: 1,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_read_latency_is_physical() {
+        let report = Array::new(ArrayConfig::small_test(), ManagementMode::NonAutonomic)
+            .run(&Trace::new(vec![read_at(0, 0)]));
+        assert_eq!(report.completed(), 1);
+        let us = report.mean_latency_us();
+        // ~26us array read + 2.66us DMA + ~3.5us of network/routing
+        assert!(us > 28.0 && us < 45.0, "unexpected read latency {us}us");
+    }
+
+    #[test]
+    fn single_write_acks_before_program_completes() {
+        let report = Array::new(ArrayConfig::small_test(), ManagementMode::NonAutonomic)
+            .run(&Trace::new(vec![write_at(0, 0)]));
+        assert_eq!(report.completed(), 1);
+        let us = report.mean_latency_us();
+        // Buffered ack: far less than the 601us program time.
+        assert!(us < 100.0, "write ack took {us}us");
+        assert_eq!(report.ftl_stats().host_writes, 1);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let trace = hot_read_trace(2_000, 700);
+        let a = Array::new(ArrayConfig::small_test(), ManagementMode::Autonomic).run(&trace);
+        let b = Array::new(ArrayConfig::small_test(), ManagementMode::Autonomic).run(&trace);
+        assert_eq!(a.completed(), b.completed());
+        assert_eq!(a.mean_latency_us(), b.mean_latency_us());
+        assert_eq!(a.events_processed(), b.events_processed());
+        assert_eq!(
+            a.autonomic_stats().migrations_started,
+            b.autonomic_stats().migrations_started
+        );
+    }
+
+    #[test]
+    fn hot_cluster_creates_link_contention_in_baseline() {
+        let report = Array::new(ArrayConfig::small_test(), ManagementMode::NonAutonomic)
+            .run(&hot_read_trace(20_000, 1_400));
+        assert_eq!(report.completed(), 20_000);
+        assert!(
+            report.avg_link_contention_us() > 1.0,
+            "expected link contention, got {}us",
+            report.avg_link_contention_us()
+        );
+        // All requests landed on cluster 0.
+        assert_eq!(report.per_cluster_requests()[0], 20_000);
+        assert_eq!(report.hot_cluster_count(0.1), 1);
+    }
+
+    #[test]
+    fn autonomic_migrates_and_beats_baseline() {
+        let trace = hot_read_trace(20_000, 1_400);
+        let base = Array::new(ArrayConfig::small_test(), ManagementMode::NonAutonomic).run(&trace);
+        let aaa = Array::new(ArrayConfig::small_test(), ManagementMode::Autonomic).run(&trace);
+        assert_eq!(base.completed(), aaa.completed());
+        let stats = aaa.autonomic_stats();
+        assert!(stats.hot_detections > 0, "no hot clusters detected");
+        assert!(stats.migrations_started > 0, "no migrations started");
+        assert!(stats.pages_migrated > 0);
+        assert!(
+            aaa.mean_latency_us() < base.mean_latency_us(),
+            "triple-a {}us !< baseline {}us",
+            aaa.mean_latency_us(),
+            base.mean_latency_us()
+        );
+        assert!(
+            aaa.avg_link_contention_us() < base.avg_link_contention_us(),
+            "link contention not reduced"
+        );
+    }
+
+    #[test]
+    fn migration_spreads_load_across_siblings() {
+        let trace = hot_read_trace(20_000, 1_400);
+        let aaa = Array::new(ArrayConfig::small_test(), ManagementMode::Autonomic).run(&trace);
+        // After migration, later requests route to sibling clusters of
+        // switch 0 (indices 0..4 in the 2x4 small topology).
+        let per = aaa.per_cluster_requests();
+        let siblings: u64 = per[1..4].iter().sum();
+        assert!(siblings > 0, "no requests served by sibling clusters");
+        // Never across the switch boundary:
+        let other_switch: u64 = per[4..].iter().sum();
+        assert_eq!(other_switch, 0, "migration crossed a switch");
+    }
+
+    #[test]
+    fn non_autonomic_never_migrates() {
+        let report = Array::new(ArrayConfig::small_test(), ManagementMode::NonAutonomic)
+            .run(&hot_read_trace(4_000, 1_400));
+        let stats = report.autonomic_stats();
+        assert_eq!(stats.hot_detections, 0);
+        assert_eq!(stats.migrations_started, 0);
+        assert_eq!(stats.pages_reshaped, 0);
+        assert_eq!(report.ftl_stats().migration_writes, 0);
+    }
+
+    #[test]
+    fn write_burst_exercises_buffer_and_storage_contention() {
+        // 200 writes into one cluster back-to-back against a small
+        // 32-page buffer: it fills, and programs (601us each) back
+        // things up.
+        let trace: Trace = (0..200)
+            .map(|i| write_at(i / 10, (i * 8) % 1_000))
+            .collect();
+        let mut cfg = ArrayConfig::small_test();
+        cfg.write_buffer_pages = 32;
+        let report = Array::new(cfg, ManagementMode::NonAutonomic).run(&trace);
+        assert_eq!(report.completed(), 200);
+        assert!(
+            report.avg_storage_contention_us() > 10.0,
+            "expected write-buffer pressure, got {}us",
+            report.avg_storage_contention_us()
+        );
+        assert_eq!(report.ftl_stats().host_writes, 200);
+    }
+
+    #[test]
+    fn autonomic_redirects_stalled_writes() {
+        let trace: Trace = (0..300).map(|i| write_at(i / 20, (i * 8) % 256)).collect();
+        let mut cfg = ArrayConfig::small_test();
+        cfg.write_buffer_pages = 32;
+        let aaa = Array::new(cfg, ManagementMode::Autonomic).run(&trace);
+        assert!(
+            aaa.autonomic_stats().write_redirects > 0,
+            "no stalled writes redirected"
+        );
+    }
+
+    #[test]
+    fn breakdown_is_bounded_by_total_latency() {
+        let trace = hot_read_trace(1_000, 800);
+        let report =
+            Array::new(ArrayConfig::small_test(), ManagementMode::NonAutonomic).run(&trace);
+        let accounted = report.avg_queue_stall_us()
+            + report.avg_direct_link_wait_us()
+            + report.avg_direct_storage_wait_us()
+            + report.avg_fimm_service_us();
+        assert!(
+            accounted <= report.mean_latency_us() * 1.01,
+            "breakdown {accounted}us exceeds mean {}us",
+            report.mean_latency_us()
+        );
+        assert!(report.avg_network_us() >= 0.0);
+    }
+
+    #[test]
+    fn empty_trace_reports_zeroes() {
+        let report =
+            Array::new(ArrayConfig::small_test(), ManagementMode::Autonomic).run(&Trace::default());
+        assert_eq!(report.completed(), 0);
+        assert_eq!(report.iops(), 0.0);
+    }
+
+    #[test]
+    fn rc_queue_backpressure_creates_rc_stall() {
+        let mut cfg = ArrayConfig::small_test();
+        cfg.pcie.rc_queue = 4;
+        // 100 simultaneous reads through a 4-entry RC queue.
+        let trace: Trace = (0..100).map(|i| read_at(0, i * 8)).collect();
+        let report = Array::new(cfg, ManagementMode::NonAutonomic).run(&trace);
+        assert_eq!(report.completed(), 100);
+        assert!(
+            report.avg_rc_stall_us() > 1.0,
+            "expected RC stalls, got {}us",
+            report.avg_rc_stall_us()
+        );
+    }
+
+    #[test]
+    fn reads_and_writes_mix() {
+        let trace: Trace = (0..400)
+            .map(|i| {
+                if i % 3 == 0 {
+                    write_at(i, (i * 8) % 4_096)
+                } else {
+                    read_at(i, (i * 8) % 4_096)
+                }
+            })
+            .collect();
+        let report = Array::new(ArrayConfig::small_test(), ManagementMode::Autonomic).run(&trace);
+        assert_eq!(report.completed(), 400);
+        assert_eq!(report.reads() + report.writes(), 400);
+        assert!(report.reads() > report.writes());
+        assert!(report.read_latency_histogram().count() == report.reads());
+        assert!(report.write_latency_histogram().count() == report.writes());
+    }
+
+    #[test]
+    fn series_collection_respects_flag() {
+        let trace = hot_read_trace(50, 1_000);
+        let with = Array::new(
+            ArrayConfig::small_test().with_series(true),
+            ManagementMode::NonAutonomic,
+        )
+        .run(&trace);
+        assert_eq!(with.series().len(), 50);
+        let without = Array::new(
+            ArrayConfig::small_test().with_series(false),
+            ManagementMode::NonAutonomic,
+        )
+        .run(&trace);
+        assert!(without.series().is_empty());
+    }
+
+    #[test]
+    fn naive_migration_interferes_more_than_shadow() {
+        let trace = hot_read_trace(20_000, 1_400);
+        let mut naive_cfg = ArrayConfig::small_test();
+        naive_cfg.autonomic.naive_migration = true;
+        let naive = Array::new(naive_cfg, ManagementMode::Autonomic).run(&trace);
+        let shadow = Array::new(ArrayConfig::small_test(), ManagementMode::Autonomic).run(&trace);
+        // Naive migration re-reads everything from the hot cluster,
+        // stealing bus time from foreground I/O (Fig. 16b vs 16c).
+        assert!(
+            naive.avg_link_contention_us() >= shadow.avg_link_contention_us(),
+            "naive {} < shadow {}",
+            naive.avg_link_contention_us(),
+            shadow.avg_link_contention_us()
+        );
+    }
+
+    #[test]
+    fn mapping_cache_misses_slow_cold_lookups() {
+        let mut cached = ArrayConfig::small_test();
+        cached.mapping_cache_pages = 2;
+        // Scatter reads over many translation pages: most lookups miss.
+        let trace: Trace = (0..200)
+            .map(|i| read_at(i * 50, (i * 4_096) % 200_000))
+            .collect();
+        let full_map =
+            Array::new(ArrayConfig::small_test(), ManagementMode::NonAutonomic).run(&trace);
+        let dftl = Array::new(cached, ManagementMode::NonAutonomic).run(&trace);
+        assert!(
+            dftl.mean_latency_us() > full_map.mean_latency_us() * 1.5,
+            "map misses should add a flash read: {} vs {}",
+            dftl.mean_latency_us(),
+            full_map.mean_latency_us()
+        );
+    }
+
+    #[test]
+    fn mlc_timing_slows_the_array_end_to_end() {
+        // Light load so latency reflects device service, not queueing.
+        let trace: Trace = (0..200).map(|i| read_at(i * 100, i % 512)).collect();
+        let slc = Array::new(ArrayConfig::small_test(), ManagementMode::NonAutonomic).run(&trace);
+        let mut mlc_cfg = ArrayConfig::small_test();
+        mlc_cfg.flash_timing = triplea_flash::FlashTiming::mlc();
+        let mlc = Array::new(mlc_cfg, ManagementMode::NonAutonomic).run(&trace);
+        assert!(
+            mlc.mean_latency_us() > slc.mean_latency_us() * 1.3,
+            "MLC reads (40us) should be visibly slower than SLC (25us): {} vs {}",
+            mlc.mean_latency_us(),
+            slc.mean_latency_us()
+        );
+    }
+
+    #[test]
+    fn end_of_life_drops_writes_instead_of_panicking() {
+        // Tiny flash with endurance 2: sustained overwrites retire every
+        // block; the array must degrade gracefully.
+        let mut cfg = ArrayConfig::small_test();
+        cfg.shape.flash.blocks_per_plane = 4;
+        cfg.shape.flash.endurance = 2;
+        cfg.gc_threshold_blocks = 2;
+        let trace: Trace = (0..40_000)
+            .map(|i| write_at(i * 10, (i % 16) * 2))
+            .collect();
+        let report = Array::new(cfg, ManagementMode::NonAutonomic).run(&trace);
+        assert_eq!(report.completed(), 40_000, "all requests still ack");
+        assert!(
+            report.dropped_writes() > 0,
+            "expected end-of-life write drops"
+        );
+        assert!(report.wear().retired_blocks > 0, "blocks should retire");
+    }
+
+    #[test]
+    fn opportunistic_gc_reclaims_ahead_of_the_hard_limit() {
+        // Small flash so the free pool shrinks fast; low write rate so
+        // the bus stays quiet and opportunistic GC can fire.
+        let mut cfg = ArrayConfig::small_test();
+        cfg.shape.flash.blocks_per_plane = 8;
+        cfg.gc_threshold_blocks = 2;
+        let trace: Trace = (0..20_000)
+            .map(|i| write_at(i * 20, (i % 64) * 2))
+            .collect();
+        cfg.opportunistic_gc = true;
+        let eager = Array::new(cfg, ManagementMode::NonAutonomic).run(&trace);
+        cfg.opportunistic_gc = false;
+        let lazy = Array::new(cfg, ManagementMode::NonAutonomic).run(&trace);
+        assert!(
+            eager.ftl_stats().gc_erases >= lazy.ftl_stats().gc_erases,
+            "opportunistic mode should clean at least as much ({} vs {})",
+            eager.ftl_stats().gc_erases,
+            lazy.ftl_stats().gc_erases
+        );
+        assert!(eager.ftl_stats().gc_erases > 0);
+    }
+
+    #[test]
+    fn sustained_hot_scenario_matches_paper_shape() {
+        // A 2x-overloaded hot cluster, sustained long enough for
+        // migration's one-time program cost to amortise. Triple-A must
+        // deliver materially higher IOPS and lower latency, with link
+        // contention nearly eliminated (paper Figs. 9-10).
+        let trace = hot_read_trace(20_000, 1_400);
+        let base = Array::new(ArrayConfig::small_test(), ManagementMode::NonAutonomic).run(&trace);
+        let aaa = Array::new(ArrayConfig::small_test(), ManagementMode::Autonomic).run(&trace);
+        assert!(
+            aaa.iops() > base.iops() * 1.2,
+            "triple-a {:.0} iops !> 1.2x baseline {:.0}",
+            aaa.iops(),
+            base.iops()
+        );
+        assert!(
+            aaa.mean_latency_us() < base.mean_latency_us() * 0.7,
+            "triple-a {:.0}us !< 0.7x baseline {:.0}us",
+            aaa.mean_latency_us(),
+            base.mean_latency_us()
+        );
+        assert!(
+            aaa.avg_link_contention_us() < base.avg_link_contention_us() * 0.6,
+            "link contention not substantially reduced"
+        );
+        assert!(
+            aaa.avg_queue_stall_us() < base.avg_queue_stall_us(),
+            "queue stalls not reduced"
+        );
+        // The naive-migration ablation must not beat shadow cloning.
+        let mut naive_cfg = ArrayConfig::small_test();
+        naive_cfg.autonomic.naive_migration = true;
+        let naive = Array::new(naive_cfg, ManagementMode::Autonomic).run(&trace);
+        assert!(naive.iops() <= aaa.iops() * 1.05);
+    }
+}

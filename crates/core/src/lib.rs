@@ -1,0 +1,59 @@
+//! The Triple-A autonomic all-flash array (paper §3–§4) and its
+//! non-autonomic baseline.
+//!
+//! This crate assembles the substrates — [`triplea_flash`] NAND packages,
+//! [`triplea_fimm`] FIMMs and the shared ONFi bus, [`triplea_pcie`]
+//! fabric, [`triplea_ftl`] host-side flash software — into a simulated
+//! all-flash array with:
+//!
+//! * a full request pipeline with per-stage latency attribution
+//!   (RC/switch queue stalls, PCI-E link waits, ONFi bus waits ⇒ *link
+//!   contention*, die waits and write-buffer waits ⇒ *storage
+//!   contention*);
+//! * the **autonomic management module**: hot-cluster detection (Eq. 1),
+//!   cold-cluster selection (Eq. 2), inter-cluster data migration with
+//!   shadow cloning, laggard detection (Eq. 3 and queue examination),
+//!   intra-cluster data-layout reshaping, and write redirection;
+//! * deterministic replay: equal configs + traces ⇒ identical reports.
+//!
+//! # Example
+//!
+//! ```
+//! use triplea_core::{Array, ArrayConfig, IoOp, ManagementMode, Trace, TraceRequest};
+//! use triplea_ftl::LogicalPage;
+//! use triplea_sim::SimTime;
+//!
+//! // Hammer one cluster with reads and let Triple-A spread the load.
+//! let cfg = ArrayConfig::small_test();
+//! let trace: Trace = (0..500)
+//!     .map(|i| TraceRequest {
+//!         at: SimTime::from_us(i / 4),
+//!         op: IoOp::Read,
+//!         lpn: LogicalPage((i % 64) * 8),
+//!         pages: 1,
+//!     })
+//!     .collect();
+//! let base = Array::new(cfg, ManagementMode::NonAutonomic).run(&trace);
+//! let aaa = Array::new(cfg, ManagementMode::Autonomic).run(&trace);
+//! assert_eq!(base.completed(), aaa.completed());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod array;
+mod autonomic;
+mod cluster;
+mod config;
+mod metrics;
+mod request;
+
+pub use array::Array;
+pub use autonomic::{AutonomicState, AutonomicStats};
+pub use config::{ArrayConfig, AutonomicParams, LaggardStrategy, ManagementMode};
+pub use metrics::RunReport;
+pub use request::{Breakdown, IoOp, Trace, TraceRequest};
+
+// Re-export the shape/address vocabulary users need alongside `Array`.
+pub use triplea_ftl::{ArrayShape, LogicalPage, PhysLoc};
+pub use triplea_pcie::{ClusterId, Topology};

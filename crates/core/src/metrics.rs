@@ -1,0 +1,381 @@
+//! Aggregated results of one simulation run.
+
+use triplea_flash::WearReport;
+use triplea_ftl::FtlStats;
+use triplea_sim::stats::{Histogram, Series};
+use triplea_sim::SimTime;
+
+use crate::autonomic::AutonomicStats;
+use crate::config::ManagementMode;
+use crate::request::Breakdown;
+
+/// Everything measured during a run; the benchmark harness derives every
+/// table row and figure series from this.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    pub(crate) mode: ManagementMode,
+    pub(crate) completed: u64,
+    pub(crate) reads: u64,
+    pub(crate) writes: u64,
+    pub(crate) first_submit: SimTime,
+    pub(crate) last_complete: SimTime,
+    pub(crate) latency: Histogram,
+    pub(crate) read_latency: Histogram,
+    pub(crate) write_latency: Histogram,
+    pub(crate) bd_sum: Breakdown,
+    pub(crate) attr_link: u64,
+    pub(crate) attr_storage: u64,
+    pub(crate) series: Series,
+    pub(crate) per_cluster_requests: Vec<u64>,
+    pub(crate) per_cluster_relocs_in: Vec<u64>,
+    pub(crate) dropped_writes: u64,
+    pub(crate) autonomic: AutonomicStats,
+    pub(crate) ftl: FtlStats,
+    pub(crate) wear: WearReport,
+    pub(crate) events: u64,
+}
+
+impl RunReport {
+    /// Which management mode produced this report.
+    pub fn mode(&self) -> ManagementMode {
+        self.mode
+    }
+
+    /// Requests completed.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Completed reads.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Completed writes.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Wall-clock span from first submission to last completion.
+    pub fn makespan(&self) -> SimTime {
+        SimTime::from_nanos(self.last_complete.saturating_since(self.first_submit))
+    }
+
+    /// Sustained I/O operations per second over the makespan.
+    pub fn iops(&self) -> f64 {
+        let secs = self.makespan().as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / secs
+        }
+    }
+
+    /// Mean end-to-end latency in microseconds.
+    pub fn mean_latency_us(&self) -> f64 {
+        self.latency.mean() / 1_000.0
+    }
+
+    /// Latency quantile in microseconds.
+    pub fn latency_percentile_us(&self, p: f64) -> f64 {
+        self.latency.percentile(p) as f64 / 1_000.0
+    }
+
+    /// Full latency histogram (nanoseconds).
+    pub fn latency_histogram(&self) -> &Histogram {
+        &self.latency
+    }
+
+    /// Read-only latency histogram.
+    pub fn read_latency_histogram(&self) -> &Histogram {
+        &self.read_latency
+    }
+
+    /// Write-only latency histogram.
+    pub fn write_latency_histogram(&self) -> &Histogram {
+        &self.write_latency
+    }
+
+    /// Latency CDF points `(microseconds, fraction)` — Figures 1 and 11.
+    pub fn latency_cdf_us(&self) -> Vec<(f64, f64)> {
+        self.latency
+            .cdf_points()
+            .into_iter()
+            .map(|(ns, f)| (ns as f64 / 1_000.0, f))
+            .collect()
+    }
+
+    fn per_req(&self, total: u64) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            total as f64 / self.completed as f64 / 1_000.0
+        }
+    }
+
+    /// Mean link-contention time per request, µs (Figure 10a, Table 2):
+    /// direct waits on shared buses/links *plus* the share of upstream
+    /// queue-stall time those waits caused. The paper uses the same
+    /// root-cause decomposition — its Table 2 queue-stall column equals
+    /// link-contention + storage-contention.
+    pub fn avg_link_contention_us(&self) -> f64 {
+        self.per_req(self.bd_sum.link_contention() + self.attr_link)
+    }
+
+    /// Mean storage-contention time per request, µs (Figure 10b):
+    /// direct waits on busy dies / full write buffers plus the share of
+    /// upstream queue-stall time they caused.
+    pub fn avg_storage_contention_us(&self) -> f64 {
+        self.per_req(self.bd_sum.storage_contention() + self.attr_storage)
+    }
+
+    /// Mean *direct* link wait per request (bus + PCI-E only, no
+    /// queue-stall attribution), µs — the Figure 15 stack component.
+    pub fn avg_direct_link_wait_us(&self) -> f64 {
+        self.per_req(self.bd_sum.link_contention())
+    }
+
+    /// Mean *direct* storage wait per request, µs (Figure 15).
+    pub fn avg_direct_storage_wait_us(&self) -> f64 {
+        self.per_req(self.bd_sum.storage_contention())
+    }
+
+    /// Mean queue-stall time per request, µs (Figure 10c).
+    pub fn avg_queue_stall_us(&self) -> f64 {
+        self.per_req(self.bd_sum.queue_stall())
+    }
+
+    /// Mean RC-queue stall per request, µs (Figure 15).
+    pub fn avg_rc_stall_us(&self) -> f64 {
+        self.per_req(self.bd_sum.rc_stall)
+    }
+
+    /// Mean switch-level stall per request, µs (Figure 15).
+    pub fn avg_switch_stall_us(&self) -> f64 {
+        self.per_req(self.bd_sum.switch_stall)
+    }
+
+    /// Mean pure flash service time per request, µs (Figure 15's "FIMM
+    /// throughput" component).
+    pub fn avg_fimm_service_us(&self) -> f64 {
+        self.per_req(self.bd_sum.fimm_service)
+    }
+
+    /// Residual per-request time not covered by the other buckets
+    /// (network serialisation, routing, propagation, device layers), µs.
+    pub fn avg_network_us(&self) -> f64 {
+        let accounted = self.bd_sum.queue_stall()
+            + self.bd_sum.link_contention()
+            + self.bd_sum.storage_contention()
+            + self.bd_sum.fimm_service;
+        let total = (self.latency.mean() * self.completed as f64) as u64;
+        self.per_req(total.saturating_sub(accounted))
+    }
+
+    /// The `(submit time, latency µs)` series, if collection was enabled
+    /// (Figure 16).
+    pub fn series(&self) -> &Series {
+        &self.series
+    }
+
+    /// Requests routed to each cluster (global cluster index).
+    pub fn per_cluster_requests(&self) -> &[u64] {
+        &self.per_cluster_requests
+    }
+
+    /// Pages relocated *into* each cluster by migration or reshaping —
+    /// diagnoses where the autonomic manager is sending data.
+    pub fn per_cluster_relocations_in(&self) -> &[u64] {
+        &self.per_cluster_relocs_in
+    }
+
+    /// Number of clusters that received at least `frac` of all requests
+    /// — the paper's hot-cluster census (Table 1 uses 10 %).
+    pub fn hot_cluster_count(&self, frac: f64) -> usize {
+        let total: u64 = self.per_cluster_requests.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        self.per_cluster_requests
+            .iter()
+            .filter(|&&c| c as f64 / total as f64 >= frac)
+            .count()
+    }
+
+    /// Fraction of I/O heading to clusters that qualify as hot at
+    /// `frac` (Table 1's last column).
+    pub fn hot_io_ratio(&self, frac: f64) -> f64 {
+        let total: u64 = self.per_cluster_requests.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let hot: u64 = self
+            .per_cluster_requests
+            .iter()
+            .filter(|&&c| c as f64 / total as f64 >= frac)
+            .sum();
+        hot as f64 / total as f64
+    }
+
+    /// Autonomic-management activity counters.
+    pub fn autonomic_stats(&self) -> &AutonomicStats {
+        &self.autonomic
+    }
+
+    /// FTL activity counters (host vs migration vs GC writes — §6.5).
+    pub fn ftl_stats(&self) -> FtlStats {
+        self.ftl
+    }
+
+    /// Array-wide NAND wear report.
+    pub fn wear(&self) -> WearReport {
+        self.wear
+    }
+
+    /// Simulator events processed (diagnostics / perf benches).
+    pub fn events_processed(&self) -> u64 {
+        self.events
+    }
+
+    /// Write pages dropped because the target FIMM was at end of life
+    /// (every block retired; GC could reclaim nothing). Always zero
+    /// until the flash wears out.
+    pub fn dropped_writes(&self) -> u64 {
+        self.dropped_writes
+    }
+
+    /// Extra writes induced by migration/reshaping relative to host
+    /// writes, as a fraction (§6.5: paper reports up to 34 %).
+    /// (The `Display` impl prints a human-readable summary.)
+    pub fn migration_write_overhead(&self) -> f64 {
+        if self.ftl.host_writes == 0 {
+            if self.ftl.migration_writes > 0 {
+                return 1.0;
+            }
+            return 0.0;
+        }
+        self.ftl.migration_writes as f64 / self.ftl.host_writes as f64
+    }
+}
+
+impl std::fmt::Display for RunReport {
+    /// A compact multi-line summary, convenient for examples and logs.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{}: {} requests ({} reads / {} writes) over {}",
+            self.mode,
+            self.completed,
+            self.reads,
+            self.writes,
+            self.makespan()
+        )?;
+        writeln!(
+            f,
+            "  IOPS {:.0} | latency mean {:.1}us p99 {:.1}us",
+            self.iops(),
+            self.mean_latency_us(),
+            self.latency_percentile_us(0.99)
+        )?;
+        write!(
+            f,
+            "  contention/req: link {:.1}us storage {:.1}us queue-stall {:.1}us",
+            self.avg_link_contention_us(),
+            self.avg_storage_contention_us(),
+            self.avg_queue_stall_us()
+        )?;
+        if self.autonomic.migrations_started > 0 || self.autonomic.pages_reshaped > 0 {
+            write!(
+                f,
+                "
+  autonomic: {} migrations ({} pages), {} reshaped, {} write redirects",
+                self.autonomic.migrations_started,
+                self.autonomic.pages_migrated,
+                self.autonomic.pages_reshaped,
+                self.autonomic.write_redirects
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty_report() -> RunReport {
+        RunReport {
+            mode: ManagementMode::NonAutonomic,
+            completed: 0,
+            reads: 0,
+            writes: 0,
+            first_submit: SimTime::ZERO,
+            last_complete: SimTime::ZERO,
+            latency: Histogram::new(),
+            read_latency: Histogram::new(),
+            write_latency: Histogram::new(),
+            bd_sum: Breakdown::default(),
+            attr_link: 0,
+            attr_storage: 0,
+            series: Series::new(),
+            per_cluster_requests: vec![0; 4],
+            per_cluster_relocs_in: vec![0; 4],
+            dropped_writes: 0,
+            autonomic: AutonomicStats::default(),
+            ftl: FtlStats::default(),
+            wear: WearReport::default(),
+            events: 0,
+        }
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = empty_report();
+        assert_eq!(r.iops(), 0.0);
+        assert_eq!(r.mean_latency_us(), 0.0);
+        assert_eq!(r.hot_cluster_count(0.1), 0);
+        assert_eq!(r.hot_io_ratio(0.1), 0.0);
+        assert_eq!(r.avg_network_us(), 0.0);
+        assert_eq!(r.migration_write_overhead(), 0.0);
+    }
+
+    #[test]
+    fn hot_cluster_census() {
+        let mut r = empty_report();
+        r.per_cluster_requests = vec![70, 20, 5, 5];
+        assert_eq!(r.hot_cluster_count(0.10), 2);
+        assert!((r.hot_io_ratio(0.10) - 0.9).abs() < 1e-12);
+        assert_eq!(r.hot_cluster_count(0.5), 1);
+    }
+
+    #[test]
+    fn iops_from_makespan() {
+        let mut r = empty_report();
+        r.completed = 1_000;
+        r.first_submit = SimTime::ZERO;
+        r.last_complete = SimTime::from_ms(100);
+        assert!((r.iops() - 10_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn display_summary_is_nonempty_and_mentions_mode() {
+        let mut r = empty_report();
+        r.completed = 10;
+        r.reads = 10;
+        let text = r.to_string();
+        assert!(text.contains("non-autonomic"));
+        assert!(text.contains("IOPS"));
+        r.autonomic.migrations_started = 3;
+        assert!(r.to_string().contains("3 migrations"));
+    }
+
+    #[test]
+    fn migration_overhead_ratio() {
+        let mut r = empty_report();
+        r.ftl.host_writes = 100;
+        r.ftl.migration_writes = 34;
+        assert!((r.migration_write_overhead() - 0.34).abs() < 1e-12);
+        r.ftl.host_writes = 0;
+        assert_eq!(r.migration_write_overhead(), 1.0);
+    }
+}

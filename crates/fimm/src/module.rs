@@ -1,0 +1,270 @@
+//! The FIMM itself: eight packages behind one connector.
+
+use triplea_flash::{
+    FlashCommand, FlashError, FlashGeometry, FlashTiming, OpTiming, Package, PageAddr, WearReport,
+};
+use triplea_sim::SimTime;
+
+/// Address of a page within a FIMM: which package (chip-enable) plus the
+/// package-internal page address.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FimmAddr {
+    /// Package index on the module (selected via its chip-enable pin).
+    pub package: u32,
+    /// Address within that package.
+    pub page: PageAddr,
+}
+
+impl std::fmt::Display for FimmAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pkg{}/{}", self.package, self.page)
+    }
+}
+
+/// Aggregated operation counters for a FIMM.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FimmStats {
+    /// Page reads across all packages.
+    pub reads: u64,
+    /// Page programs across all packages.
+    pub programs: u64,
+    /// Block erases across all packages.
+    pub erases: u64,
+}
+
+/// A Flash Inline Memory Module (paper §3.3): a passive board of NAND
+/// packages with no on-module controller, DRAM, or firmware — those all
+/// live host-side in Triple-A.
+#[derive(Clone, Debug)]
+pub struct Fimm {
+    packages: Vec<Package>,
+}
+
+impl Fimm {
+    /// Creates a FIMM with `n_packages` identical packages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_packages == 0`.
+    pub fn new(n_packages: u32, geom: FlashGeometry, timing: FlashTiming) -> Self {
+        assert!(n_packages > 0, "a FIMM needs at least one package");
+        Fimm {
+            packages: (0..n_packages)
+                .map(|_| Package::new(geom, timing))
+                .collect(),
+        }
+    }
+
+    /// Number of packages on the module.
+    pub fn package_count(&self) -> u32 {
+        self.packages.len() as u32
+    }
+
+    /// Usable capacity of the module in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.packages
+            .iter()
+            .map(|p| p.geometry().capacity_bytes())
+            .sum()
+    }
+
+    /// Total pages across all packages.
+    pub fn total_pages(&self) -> u64 {
+        self.packages
+            .iter()
+            .map(|p| p.geometry().total_pages())
+            .sum()
+    }
+
+    /// Shared read-only access to one package.
+    pub fn package(&self, idx: u32) -> &Package {
+        &self.packages[idx as usize]
+    }
+
+    /// Linearises a [`FimmAddr`] to a module-wide page index.
+    pub fn page_index(&self, addr: FimmAddr) -> u64 {
+        let per_pkg = self.packages[0].geometry().total_pages();
+        addr.package as u64 * per_pkg
+            + self.packages[addr.package as usize]
+                .geometry()
+                .page_index(addr.page)
+    }
+
+    /// Inverse of [`Fimm::page_index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range for the module.
+    pub fn addr_from_index(&self, idx: u64) -> FimmAddr {
+        let per_pkg = self.packages[0].geometry().total_pages();
+        let package = (idx / per_pkg) as u32;
+        assert!(
+            (package as usize) < self.packages.len(),
+            "page index out of range"
+        );
+        FimmAddr {
+            package,
+            page: self.packages[package as usize]
+                .geometry()
+                .page_from_index(idx % per_pkg),
+        }
+    }
+
+    /// Issues a flash command to package `package`, reserving die time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FlashError`] from the package (validation, program
+    /// order, wear-out).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `package` is out of range.
+    pub fn begin_op(
+        &mut self,
+        now: SimTime,
+        package: u32,
+        cmd: &FlashCommand,
+    ) -> Result<OpTiming, FlashError> {
+        self.packages[package as usize].begin_op(now, cmd)
+    }
+
+    /// `true` when every die of every package is idle at `now` — the
+    /// "target FIMM device is available" precondition of Eq. 1.
+    pub fn is_idle_at(&self, now: SimTime) -> bool {
+        self.packages.iter().all(|p| p.is_idle_at(now))
+    }
+
+    /// Earliest instant at which the given package's busiest die frees up.
+    pub fn package_free_at(&self, package: u32) -> SimTime {
+        let p = &self.packages[package as usize];
+        (0..p.geometry().dies)
+            .map(|d| p.die_free_at(d))
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Aggregated operation counters.
+    pub fn stats(&self) -> FimmStats {
+        let mut s = FimmStats::default();
+        for p in &self.packages {
+            let ps = p.stats();
+            s.reads += ps.reads;
+            s.programs += ps.programs;
+            s.erases += ps.erases;
+        }
+        s
+    }
+
+    /// Aggregated wear report across packages.
+    pub fn wear_report(&self) -> WearReport {
+        let mut acc = WearReport::default();
+        for p in &self.packages {
+            acc.merge(&p.wear_report());
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fimm() -> Fimm {
+        Fimm::new(8, FlashGeometry::default(), FlashTiming::default())
+    }
+
+    fn addr(pkg: u32, block: u32, page: u32) -> FimmAddr {
+        FimmAddr {
+            package: pkg,
+            page: PageAddr {
+                die: 0,
+                plane: block % 2,
+                block,
+                page,
+            },
+        }
+    }
+
+    #[test]
+    fn capacity_is_64_gib() {
+        // 8 packages x 8 GiB = 64 GiB, the paper's FIMM size
+        assert_eq!(fimm().capacity_bytes(), 64 * 1024 * 1024 * 1024);
+        assert_eq!(fimm().package_count(), 8);
+    }
+
+    #[test]
+    fn packages_operate_independently() {
+        let mut f = fimm();
+        let a = f
+            .begin_op(SimTime::ZERO, 0, &FlashCommand::read(addr(0, 0, 0).page))
+            .unwrap();
+        let b = f
+            .begin_op(SimTime::ZERO, 1, &FlashCommand::read(addr(1, 0, 0).page))
+            .unwrap();
+        assert_eq!(a.die_wait, 0);
+        assert_eq!(b.die_wait, 0, "different packages never contend on dies");
+    }
+
+    #[test]
+    fn same_package_same_die_contends() {
+        let mut f = fimm();
+        f.begin_op(SimTime::ZERO, 2, &FlashCommand::read(addr(2, 0, 0).page))
+            .unwrap();
+        let second = f
+            .begin_op(SimTime::ZERO, 2, &FlashCommand::read(addr(2, 0, 1).page))
+            .unwrap();
+        assert!(second.die_wait > 0);
+    }
+
+    #[test]
+    fn page_index_roundtrip() {
+        let f = fimm();
+        for idx in [0, 1, 2_097_151, 2_097_152, f.total_pages() - 1] {
+            let a = f.addr_from_index(idx);
+            assert_eq!(f.page_index(a), idx);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn addr_from_index_bounds() {
+        let f = fimm();
+        f.addr_from_index(f.total_pages());
+    }
+
+    #[test]
+    fn idle_tracking() {
+        let mut f = fimm();
+        assert!(f.is_idle_at(SimTime::ZERO));
+        f.begin_op(SimTime::ZERO, 0, &FlashCommand::read(addr(0, 0, 0).page))
+            .unwrap();
+        assert!(!f.is_idle_at(SimTime::ZERO));
+        assert!(f.is_idle_at(f.package_free_at(0)));
+    }
+
+    #[test]
+    fn stats_aggregate_packages() {
+        let mut f = fimm();
+        f.begin_op(SimTime::ZERO, 0, &FlashCommand::read(addr(0, 0, 0).page))
+            .unwrap();
+        f.begin_op(SimTime::ZERO, 1, &FlashCommand::program(addr(1, 0, 0).page))
+            .unwrap();
+        f.begin_op(SimTime::ZERO, 2, &FlashCommand::erase(addr(2, 0, 0).page))
+            .unwrap();
+        let s = f.stats();
+        assert_eq!((s.reads, s.programs, s.erases), (1, 1, 1));
+        assert_eq!(f.wear_report().total_erases, 1);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(addr(3, 2, 1).to_string(), "pkg3/d0p0b2pg1");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one package")]
+    fn zero_packages_panics() {
+        Fimm::new(0, FlashGeometry::default(), FlashTiming::default());
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for flash package operations.
+
+use crate::geometry::PageAddr;
+
+/// Errors surfaced by the flash package model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlashError {
+    /// The address does not exist in the package geometry, or its block
+    /// parity disagrees with its plane.
+    InvalidAddress(PageAddr),
+    /// A command carried no targets.
+    EmptyCommand,
+    /// Multi-plane targets collide on a plane or span dies.
+    PlaneConflict,
+    /// Die-interleave targets collide on a die.
+    DieConflict,
+    /// The command's mode is inconsistent with its targets or kind.
+    ModeMismatch,
+    /// Program issued to a page that is not the next free page of its
+    /// block (NAND requires in-order programming within a block).
+    ProgramOrder(PageAddr),
+    /// Program issued to an already-programmed page without an erase.
+    OverwriteWithoutErase(PageAddr),
+    /// The block has exceeded its P/E endurance and is retired.
+    WornOut(PageAddr),
+}
+
+impl std::fmt::Display for FlashError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlashError::InvalidAddress(a) => write!(f, "invalid flash address {a}"),
+            FlashError::EmptyCommand => write!(f, "flash command has no targets"),
+            FlashError::PlaneConflict => write!(f, "multi-plane targets conflict"),
+            FlashError::DieConflict => write!(f, "die-interleave targets conflict"),
+            FlashError::ModeMismatch => write!(f, "command mode inconsistent with targets"),
+            FlashError::ProgramOrder(a) => {
+                write!(f, "out-of-order program within block at {a}")
+            }
+            FlashError::OverwriteWithoutErase(a) => {
+                write!(f, "program to non-erased page at {a}")
+            }
+            FlashError::WornOut(a) => write!(f, "block at {a} exceeded endurance"),
+        }
+    }
+}
+
+impl std::error::Error for FlashError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_nonempty() {
+        let addr = PageAddr::default();
+        for e in [
+            FlashError::InvalidAddress(addr),
+            FlashError::EmptyCommand,
+            FlashError::PlaneConflict,
+            FlashError::DieConflict,
+            FlashError::ModeMismatch,
+            FlashError::ProgramOrder(addr),
+            FlashError::OverwriteWithoutErase(addr),
+            FlashError::WornOut(addr),
+        ] {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase(), "{msg}");
+        }
+    }
+
+    #[test]
+    fn error_trait_usable() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&FlashError::EmptyCommand);
+    }
+}

@@ -1,0 +1,381 @@
+//! The NAND package state machine: dies as busy-until servers, program
+//! order enforcement, wear accounting.
+
+use std::collections::HashMap;
+
+use triplea_sim::{FifoResource, Nanos, SimTime};
+
+use crate::command::{CmdMode, FlashCommand, OpKind};
+use crate::error::FlashError;
+use crate::geometry::FlashGeometry;
+use crate::timing::FlashTiming;
+use crate::wear::{WearReport, WearTracker};
+
+/// Timing outcome of a flash operation accepted by a package.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpTiming {
+    /// When the earliest involved die begins the operation.
+    pub start: SimTime,
+    /// When the last involved die finishes (for reads: data sits in the
+    /// data register, ready for channel transfer).
+    pub end: SimTime,
+    /// Longest time any involved die was awaited — the package-level
+    /// component of the paper's *storage contention*.
+    pub die_wait: Nanos,
+}
+
+/// Operation counters for one package.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PackageStats {
+    /// Page reads executed.
+    pub reads: u64,
+    /// Page programs executed.
+    pub programs: u64,
+    /// Block erases executed.
+    pub erases: u64,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct BlockState {
+    next_page: u32,
+}
+
+/// One bare NAND flash package: dies, planes, registers, embedded
+/// controller (paper §2.2). Pure metadata — no data bytes are stored.
+///
+/// The package enforces the NAND physical invariants that the FTL must
+/// respect: in-order programming within a block, erase-before-rewrite,
+/// and endurance-based block retirement.
+#[derive(Clone, Debug)]
+pub struct Package {
+    geom: FlashGeometry,
+    timing: FlashTiming,
+    dies: Vec<FifoResource>,
+    blocks: HashMap<u64, BlockState>,
+    wear: WearTracker,
+    stats: PackageStats,
+}
+
+impl Package {
+    /// Creates an idle, fully-erased package.
+    pub fn new(geom: FlashGeometry, timing: FlashTiming) -> Self {
+        Package {
+            geom,
+            timing,
+            dies: (0..geom.dies).map(|_| FifoResource::new("die")).collect(),
+            blocks: HashMap::new(),
+            wear: WearTracker::new(geom.endurance),
+            stats: PackageStats::default(),
+        }
+    }
+
+    /// The package geometry.
+    pub fn geometry(&self) -> &FlashGeometry {
+        &self.geom
+    }
+
+    /// The package timing parameters.
+    pub fn timing(&self) -> &FlashTiming {
+        &self.timing
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> PackageStats {
+        self.stats
+    }
+
+    /// Wear snapshot.
+    pub fn wear_report(&self) -> WearReport {
+        self.wear.report()
+    }
+
+    /// Instant the given die becomes free.
+    pub fn die_free_at(&self, die: u32) -> SimTime {
+        self.dies[die as usize].free_at()
+    }
+
+    /// `true` when every die is idle at `now` — the paper's Eq. 1 only
+    /// classifies a cluster as hot *"when the target FIMM device is
+    /// available to serve I/O requests"*.
+    pub fn is_idle_at(&self, now: SimTime) -> bool {
+        self.dies.iter().all(|d| d.is_free_at(now))
+    }
+
+    /// Validates and accepts a command, reserving die time.
+    ///
+    /// Returns the operation timing; the caller (the FIMM) layers channel
+    /// transfer on top.
+    ///
+    /// # Errors
+    ///
+    /// Structural errors from [`FlashCommand::validate`], plus
+    /// [`FlashError::ProgramOrder`], [`FlashError::OverwriteWithoutErase`]
+    /// and [`FlashError::WornOut`] for violations of NAND physics.
+    pub fn begin_op(&mut self, now: SimTime, cmd: &FlashCommand) -> Result<OpTiming, FlashError> {
+        cmd.validate(&self.geom)?;
+        self.check_state(cmd)?;
+        self.apply_state(cmd);
+
+        let exe = match cmd.kind {
+            // MLC fast/slow page pairing: the slowest target governs the
+            // array operation.
+            OpKind::Program => cmd
+                .targets
+                .iter()
+                .map(|t| self.timing.prog_nanos_for_page(t.page))
+                .max()
+                .unwrap_or_else(|| self.timing.exe_nanos(cmd.kind)),
+            _ => self.timing.exe_nanos(cmd.kind),
+        };
+        let timing = match cmd.mode {
+            CmdMode::Normal | CmdMode::MultiPlane => {
+                // Multi-plane targets run concurrently in the array: one
+                // die reservation covers all planes.
+                let die = cmd.targets[0].die as usize;
+                let r = self.dies[die].reserve(now, exe);
+                OpTiming {
+                    start: r.start,
+                    end: r.end,
+                    die_wait: r.wait,
+                }
+            }
+            CmdMode::Cache => {
+                // Cache registers pipeline sequential pages on one die:
+                // the die stays busy for n consecutive array operations
+                // without waiting for channel transfers in between.
+                let die = cmd.targets[0].die as usize;
+                let n = cmd.targets.len() as u64;
+                let r = self.dies[die].reserve(now, exe * n);
+                OpTiming {
+                    start: r.start,
+                    end: r.end,
+                    die_wait: r.wait,
+                }
+            }
+            CmdMode::DieInterleave => {
+                let mut start = SimTime::MAX;
+                let mut end = SimTime::ZERO;
+                let mut wait: Nanos = 0;
+                for &t in &cmd.targets {
+                    let r = self.dies[t.die as usize].reserve(now, exe);
+                    start = start.min(r.start);
+                    end = end.max(r.end);
+                    wait = wait.max(r.wait);
+                }
+                OpTiming {
+                    start,
+                    end,
+                    die_wait: wait,
+                }
+            }
+        };
+
+        match cmd.kind {
+            OpKind::Read => self.stats.reads += cmd.targets.len() as u64,
+            OpKind::Program => self.stats.programs += cmd.targets.len() as u64,
+            OpKind::Erase => self.stats.erases += cmd.targets.len() as u64,
+        }
+        Ok(timing)
+    }
+
+    fn check_state(&self, cmd: &FlashCommand) -> Result<(), FlashError> {
+        for &t in &cmd.targets {
+            let bidx = self.geom.block_index(t);
+            if self.wear.is_retired(bidx) {
+                return Err(FlashError::WornOut(t));
+            }
+            if cmd.kind == OpKind::Program {
+                let next = self.blocks.get(&bidx).map_or(0, |b| b.next_page);
+                if t.page < next {
+                    return Err(FlashError::OverwriteWithoutErase(t));
+                }
+                if t.page > next {
+                    return Err(FlashError::ProgramOrder(t));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_state(&mut self, cmd: &FlashCommand) {
+        for &t in &cmd.targets {
+            let bidx = self.geom.block_index(t);
+            match cmd.kind {
+                OpKind::Program => {
+                    self.blocks.entry(bidx).or_default().next_page = t.page + 1;
+                }
+                OpKind::Erase => {
+                    self.wear.record_erase(bidx);
+                    self.blocks.entry(bidx).or_default().next_page = 0;
+                }
+                OpKind::Read => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::PageAddr;
+
+    fn pkg() -> Package {
+        Package::new(FlashGeometry::default(), FlashTiming::default())
+    }
+
+    fn a(die: u32, block: u32, page: u32) -> PageAddr {
+        PageAddr {
+            die,
+            plane: block % 2,
+            block,
+            page,
+        }
+    }
+
+    #[test]
+    fn read_reserves_die() {
+        let mut p = pkg();
+        let t1 = p
+            .begin_op(SimTime::ZERO, &FlashCommand::read(a(0, 0, 0)))
+            .unwrap();
+        let t2 = p
+            .begin_op(SimTime::ZERO, &FlashCommand::read(a(0, 0, 1)))
+            .unwrap();
+        assert_eq!(t1.die_wait, 0);
+        assert_eq!(t2.die_wait, 26_000, "second read waits one t_exe");
+        assert_eq!(t2.start, t1.end);
+        assert_eq!(p.stats().reads, 2);
+    }
+
+    #[test]
+    fn dies_are_independent() {
+        let mut p = pkg();
+        p.begin_op(SimTime::ZERO, &FlashCommand::read(a(0, 0, 0)))
+            .unwrap();
+        let other = p
+            .begin_op(SimTime::ZERO, &FlashCommand::read(a(1, 0, 0)))
+            .unwrap();
+        assert_eq!(other.die_wait, 0);
+    }
+
+    #[test]
+    fn die_interleave_parallelises() {
+        let mut p = pkg();
+        let cmd = FlashCommand::multi(
+            OpKind::Read,
+            vec![a(0, 0, 0), a(1, 0, 0)],
+            CmdMode::DieInterleave,
+        );
+        let t = p.begin_op(SimTime::ZERO, &cmd).unwrap();
+        assert_eq!(t.end - t.start, 26_000, "both dies in parallel");
+    }
+
+    #[test]
+    fn multiplane_single_die_reservation() {
+        let mut p = pkg();
+        let cmd = FlashCommand::multi(
+            OpKind::Read,
+            vec![a(0, 0, 5), a(0, 1, 5)],
+            CmdMode::MultiPlane,
+        );
+        let t = p.begin_op(SimTime::ZERO, &cmd).unwrap();
+        assert_eq!(t.end - t.start, 26_000, "planes run concurrently");
+        assert!(!p.is_idle_at(SimTime::from_nanos(1_000)));
+        assert!(p.is_idle_at(SimTime::from_nanos(26_000)));
+    }
+
+    #[test]
+    fn cache_mode_chains_array_ops() {
+        let mut p = pkg();
+        let cmd = FlashCommand::multi(
+            OpKind::Read,
+            vec![a(0, 0, 0), a(0, 0, 1), a(0, 0, 2)],
+            CmdMode::Cache,
+        );
+        let t = p.begin_op(SimTime::ZERO, &cmd).unwrap();
+        assert_eq!(t.end - t.start, 3 * 26_000);
+    }
+
+    #[test]
+    fn program_order_enforced() {
+        let mut p = pkg();
+        assert!(p
+            .begin_op(SimTime::ZERO, &FlashCommand::program(a(0, 0, 0)))
+            .is_ok());
+        assert!(p
+            .begin_op(SimTime::ZERO, &FlashCommand::program(a(0, 0, 1)))
+            .is_ok());
+        // skipping page 2 -> page 3 is out of order
+        assert_eq!(
+            p.begin_op(SimTime::ZERO, &FlashCommand::program(a(0, 0, 3))),
+            Err(FlashError::ProgramOrder(a(0, 0, 3)))
+        );
+        // rewriting page 0 without erase is forbidden
+        assert_eq!(
+            p.begin_op(SimTime::ZERO, &FlashCommand::program(a(0, 0, 0))),
+            Err(FlashError::OverwriteWithoutErase(a(0, 0, 0)))
+        );
+    }
+
+    #[test]
+    fn erase_resets_program_pointer() {
+        let mut p = pkg();
+        p.begin_op(SimTime::ZERO, &FlashCommand::program(a(0, 0, 0)))
+            .unwrap();
+        p.begin_op(SimTime::ZERO, &FlashCommand::erase(a(0, 0, 0)))
+            .unwrap();
+        assert!(p
+            .begin_op(SimTime::ZERO, &FlashCommand::program(a(0, 0, 0)))
+            .is_ok());
+        assert_eq!(p.wear_report().total_erases, 1);
+    }
+
+    #[test]
+    fn worn_out_block_rejects_ops() {
+        let geom = FlashGeometry {
+            endurance: 1,
+            ..FlashGeometry::default()
+        };
+        let mut p = Package::new(geom, FlashTiming::default());
+        p.begin_op(SimTime::ZERO, &FlashCommand::erase(a(0, 0, 0)))
+            .unwrap();
+        assert_eq!(
+            p.begin_op(SimTime::ZERO, &FlashCommand::erase(a(0, 0, 0))),
+            Err(FlashError::WornOut(a(0, 0, 0)))
+        );
+        assert_eq!(
+            p.begin_op(SimTime::ZERO, &FlashCommand::program(a(0, 0, 0))),
+            Err(FlashError::WornOut(a(0, 0, 0)))
+        );
+        // other blocks unaffected
+        assert!(p
+            .begin_op(SimTime::ZERO, &FlashCommand::read(a(0, 2, 0)))
+            .is_ok());
+    }
+
+    #[test]
+    fn mlc_pairing_affects_program_timing() {
+        let mut p = Package::new(FlashGeometry::default(), FlashTiming::mlc());
+        let fast = p
+            .begin_op(SimTime::ZERO, &FlashCommand::program(a(0, 0, 0)))
+            .unwrap();
+        let slow = p
+            .begin_op(SimTime::ZERO, &FlashCommand::program(a(0, 0, 1)))
+            .unwrap();
+        assert_eq!(fast.end - fast.start, 601_000, "LSB page");
+        assert_eq!(slow.end - slow.start, 1_201_000, "MSB page 2x slower");
+    }
+
+    #[test]
+    fn invalid_command_leaves_state_untouched() {
+        let mut p = pkg();
+        let bad = FlashCommand::multi(
+            OpKind::Program,
+            vec![a(0, 0, 0), a(0, 2, 0)],
+            CmdMode::MultiPlane,
+        );
+        assert!(p.begin_op(SimTime::ZERO, &bad).is_err());
+        assert_eq!(p.stats().programs, 0);
+        assert!(p.is_idle_at(SimTime::ZERO));
+    }
+}

@@ -1,0 +1,191 @@
+//! NAND array and ONFi interface timing parameters.
+
+use triplea_sim::Nanos;
+
+/// Timing of the ONFi NV-DDR2 interface (paper §3.3: 78-pin connector,
+/// 400 MHz bus clock, 16 data pins per FIMM channel).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct OnfiTiming {
+    /// Interface clock in MHz (`f_inf` of the paper's Eq. 2).
+    pub clock_mhz: u32,
+    /// Number of data pins on the shared channel (`n_pins`).
+    pub data_pins: u32,
+    /// Double data rate: two transfers per clock when `true`.
+    pub ddr: bool,
+    /// Fixed command + address cycle overhead per operation.
+    pub cmd_overhead: Nanos,
+}
+
+impl Default for OnfiTiming {
+    fn default() -> Self {
+        OnfiTiming {
+            clock_mhz: 400,
+            data_pins: 16,
+            ddr: true,
+            cmd_overhead: 100,
+        }
+    }
+}
+
+impl OnfiTiming {
+    /// Channel bandwidth in bytes per second.
+    pub fn bytes_per_sec(&self) -> u64 {
+        let transfers = self.clock_mhz as u64 * 1_000_000 * if self.ddr { 2 } else { 1 };
+        transfers * self.data_pins as u64 / 8
+    }
+
+    /// Time to move `bytes` over the channel (`t_DMA` per page in the
+    /// paper's Eq. 1 when `bytes` is one page).
+    pub fn dma_nanos(&self, bytes: u64) -> Nanos {
+        let bps = self.bytes_per_sec();
+        (bytes as u128 * 1_000_000_000).div_ceil(bps as u128) as Nanos
+    }
+}
+
+/// Latency parameters of the NAND array and embedded controller.
+///
+/// Defaults are SLC-class NAND (25 µs read, 250 µs program, 1.5 ms
+/// erase) with a 1 µs controller/ECC pass per page (§2.2's embedded ECC
+/// engine) — the paper's commercial comparables (TMS RamSan, Violin
+/// 6000, §7) are SLC-era performance arrays. Use
+/// [`FlashTiming::mlc`] for consumer-MLC timing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FlashTiming {
+    /// Array read time per page (`t_R`); part of Eq. 1's `t_exe`.
+    pub t_read: Nanos,
+    /// Array program time per page (`t_PROG`).
+    pub t_prog: Nanos,
+    /// Block erase time (`t_BERS`).
+    pub t_erase: Nanos,
+    /// Embedded controller parse + ECC latency per page.
+    pub t_ctrl: Nanos,
+    /// MLC page pairing: in multi-level cells, the pages of a wordline
+    /// pair split into a *fast* (LSB) and a *slow* (MSB) page; MSB
+    /// programs take roughly `slow_page_factor`× longer. This intrinsic
+    /// latency variation is what the paper's NANDFlashSim reference
+    /// (ref. \[26\]) models; `0` disables it (SLC).
+    pub slow_page_factor: u32,
+    /// Interface timing of the attached channel.
+    pub onfi: OnfiTiming,
+}
+
+impl Default for FlashTiming {
+    fn default() -> Self {
+        FlashTiming {
+            t_read: 25_000,
+            t_prog: 250_000,
+            t_erase: 1_500_000,
+            t_ctrl: 1_000,
+            slow_page_factor: 0,
+            onfi: OnfiTiming::default(),
+        }
+    }
+}
+
+impl FlashTiming {
+    /// 2013-era consumer MLC timing: 40 µs read, 600 µs program, 3 ms
+    /// erase.
+    pub fn mlc() -> Self {
+        FlashTiming {
+            t_read: 40_000,
+            t_prog: 600_000,
+            t_erase: 3_000_000,
+            slow_page_factor: 2,
+            ..FlashTiming::default()
+        }
+    }
+
+    /// Execution latency (`t_exe`) for one page of the given operation,
+    /// including the controller/ECC pass.
+    pub fn exe_nanos(&self, kind: crate::OpKind) -> Nanos {
+        let array = match kind {
+            crate::OpKind::Read => self.t_read,
+            crate::OpKind::Program => self.t_prog,
+            crate::OpKind::Erase => self.t_erase,
+        };
+        array + self.t_ctrl
+    }
+
+    /// `t_DMA` for one page of `page_size` bytes.
+    pub fn dma_nanos(&self, page_size: u32) -> Nanos {
+        self.onfi.dma_nanos(page_size as u64)
+    }
+
+    /// Program latency for a specific page index, accounting for MLC
+    /// fast/slow page pairing (odd page indices map to slow MSB pages).
+    pub fn prog_nanos_for_page(&self, page: u32) -> Nanos {
+        if self.slow_page_factor > 1 && page % 2 == 1 {
+            self.t_prog * self.slow_page_factor as u64 + self.t_ctrl
+        } else {
+            self.t_prog + self.t_ctrl
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OpKind;
+
+    #[test]
+    fn nvddr2_bandwidth() {
+        let t = OnfiTiming::default();
+        // 400 MHz DDR x 16 pins = 800 MT/s x 2 bytes = 1.6 GB/s
+        assert_eq!(t.bytes_per_sec(), 1_600_000_000);
+    }
+
+    #[test]
+    fn dma_of_4k_page() {
+        let t = OnfiTiming::default();
+        // 4096 B / 1.6 GB/s = 2.56 us
+        assert_eq!(t.dma_nanos(4096), 2_560);
+    }
+
+    #[test]
+    fn dma_rounds_up() {
+        let t = OnfiTiming {
+            clock_mhz: 1,
+            data_pins: 8,
+            ddr: false,
+            cmd_overhead: 0,
+        };
+        // 1 MB/s: 3 bytes -> 3000ns exactly; 1 byte -> 1000ns
+        assert_eq!(t.dma_nanos(3), 3_000);
+        assert_eq!(t.dma_nanos(1), 1_000);
+    }
+
+    #[test]
+    fn sdr_halves_bandwidth() {
+        let ddr = OnfiTiming::default();
+        let sdr = OnfiTiming { ddr: false, ..ddr };
+        assert_eq!(sdr.bytes_per_sec() * 2, ddr.bytes_per_sec());
+    }
+
+    #[test]
+    fn exe_includes_controller() {
+        let t = FlashTiming::default();
+        assert_eq!(t.exe_nanos(OpKind::Read), 26_000);
+        assert_eq!(t.exe_nanos(OpKind::Program), 251_000);
+        assert_eq!(t.exe_nanos(OpKind::Erase), 1_501_000);
+    }
+
+    #[test]
+    fn mlc_profile_is_slower() {
+        let slc = FlashTiming::default();
+        let mlc = FlashTiming::mlc();
+        assert!(mlc.t_read > slc.t_read);
+        assert!(mlc.t_prog > slc.t_prog);
+        assert_eq!(mlc.onfi, slc.onfi);
+    }
+
+    #[test]
+    fn mlc_page_pairing_slows_odd_pages() {
+        let slc = FlashTiming::default();
+        assert_eq!(slc.prog_nanos_for_page(0), slc.prog_nanos_for_page(1));
+        let mlc = FlashTiming::mlc();
+        let fast = mlc.prog_nanos_for_page(0);
+        let slow = mlc.prog_nanos_for_page(1);
+        assert_eq!(fast, 601_000);
+        assert_eq!(slow, 1_201_000);
+    }
+}

@@ -1,0 +1,48 @@
+//! FTL error type.
+
+use triplea_pcie::ClusterId;
+
+/// Errors surfaced by the host-side flash translation layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FtlError {
+    /// The target FIMM has no free blocks left; garbage collection must
+    /// reclaim space before the write can proceed.
+    OutOfSpace {
+        /// Cluster of the exhausted FIMM.
+        cluster: ClusterId,
+        /// FIMM index within the cluster.
+        fimm: u32,
+    },
+    /// A logical page outside the array's address space was used.
+    AddressOutOfRange(u64),
+}
+
+impl std::fmt::Display for FtlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FtlError::OutOfSpace { cluster, fimm } => {
+                write!(f, "no free blocks on {cluster} fimm {fimm}; gc required")
+            }
+            FtlError::AddressOutOfRange(lpn) => {
+                write!(f, "logical page {lpn} outside the array address space")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FtlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let e = FtlError::OutOfSpace {
+            cluster: ClusterId::default(),
+            fimm: 3,
+        };
+        assert!(e.to_string().contains("fimm 3"));
+        assert!(FtlError::AddressOutOfRange(9).to_string().contains('9'));
+    }
+}

@@ -1,0 +1,645 @@
+//! The flash translation layer proper.
+
+use std::collections::HashMap;
+
+use triplea_pcie::ClusterId;
+
+use crate::alloc::{BlockKey, FimmAllocator};
+use crate::error::FtlError;
+use crate::map::PageMap;
+use crate::mapcache::MappingCache;
+use crate::shape::{ArrayShape, LogicalPage, PhysLoc};
+
+/// Counters describing FTL activity; the §6.5 wear-out analysis compares
+/// `migration_writes` against `host_writes`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FtlStats {
+    /// Pages written on behalf of hosts.
+    pub host_writes: u64,
+    /// Pages written by autonomic data migration / layout reshaping.
+    pub migration_writes: u64,
+    /// Pages rewritten by garbage collection.
+    pub gc_writes: u64,
+    /// Physical pages invalidated by overwrite, migration, or GC.
+    pub invalidations: u64,
+    /// Blocks erased by garbage collection.
+    pub gc_erases: u64,
+}
+
+/// GC victim-selection policy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum GcPolicy {
+    /// Most invalid pages first (the classic greedy cleaner; default).
+    #[default]
+    Greedy,
+    /// Benefit/cost cleaning: weigh reclaimed space against copy cost
+    /// and favour older (colder) blocks — `invalid/(valid+1) × age`.
+    CostBenefit,
+    /// Oldest sealed block first, regardless of occupancy.
+    Fifo,
+}
+
+#[derive(Clone, Debug, Default)]
+struct BlockUse {
+    programmed: u32,
+    lpns: HashMap<u32, LogicalPage>,
+    /// Monotonic sequence assigned when the block sealed (filled); used
+    /// by age-aware GC policies.
+    sealed_seq: u64,
+}
+
+impl BlockUse {
+    fn invalid(&self) -> u32 {
+        self.programmed - self.lpns.len() as u32
+    }
+}
+
+/// A unit of garbage-collection work: one victim block and the live pages
+/// that must be rewritten before it can be erased.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GcWork {
+    /// Cluster owning the victim block.
+    pub cluster: ClusterId,
+    /// FIMM owning the victim block.
+    pub fimm: u32,
+    /// Victim package.
+    pub package: u32,
+    /// Victim die.
+    pub die: u32,
+    /// Victim (die-local) block number.
+    pub block: u32,
+    /// Logical pages still live in the victim at pick time.
+    pub valid: Vec<LogicalPage>,
+}
+
+/// The array-wide flash translation layer (paper §2.3): address
+/// translation, erase-before-write management, allocation, GC, and
+/// host-side wear accounting, all centralised in the management module
+/// rather than inside per-SSD firmware (§3.1, §6.7).
+#[derive(Clone, Debug)]
+pub struct Ftl {
+    shape: ArrayShape,
+    map: PageMap,
+    allocs: HashMap<(u32, u32), FimmAllocator>,
+    blocks: HashMap<(u32, u32, BlockKey), BlockUse>,
+    /// Demand-paged translation cache; `None` models the full in-DRAM
+    /// map of Triple-A's relocated-DRAM design (§6.6).
+    mapcache: Option<MappingCache>,
+    gc_policy: GcPolicy,
+    seal_seq: u64,
+    stats: FtlStats,
+}
+
+/// Why a page is being written; selects the stat bucket.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum WriteClass {
+    Host,
+    Migration,
+    Gc,
+}
+
+impl Ftl {
+    /// Creates an FTL over a pristine array with the full map resident
+    /// in DRAM (Triple-A's default; translations are free).
+    pub fn new(shape: ArrayShape) -> Self {
+        Ftl {
+            shape,
+            map: PageMap::new(shape),
+            allocs: HashMap::new(),
+            blocks: HashMap::new(),
+            mapcache: None,
+            gc_policy: GcPolicy::Greedy,
+            seal_seq: 0,
+            stats: FtlStats::default(),
+        }
+    }
+
+    /// Selects the GC victim-selection policy (default: greedy).
+    pub fn set_gc_policy(&mut self, policy: GcPolicy) {
+        self.gc_policy = policy;
+    }
+
+    /// The GC policy in force.
+    pub fn gc_policy(&self) -> GcPolicy {
+        self.gc_policy
+    }
+
+    /// Creates an FTL whose translations go through a DFTL-style demand
+    /// cache of `translation_pages` pages; misses must be charged a
+    /// flash read by the caller (see [`Ftl::map_access`]).
+    pub fn with_mapping_cache(shape: ArrayShape, translation_pages: usize) -> Self {
+        Ftl {
+            mapcache: Some(MappingCache::new(translation_pages)),
+            ..Ftl::new(shape)
+        }
+    }
+
+    /// Touches the translation path for `lpn`: returns `true` when the
+    /// mapping was resident (or the full map is in DRAM), `false` when
+    /// the caller must charge a translation-page flash read.
+    pub fn map_access(&mut self, lpn: LogicalPage) -> bool {
+        match &mut self.mapcache {
+            None => true,
+            Some(c) => c.access(lpn.0),
+        }
+    }
+
+    /// The mapping cache, if one is configured.
+    pub fn mapping_cache(&self) -> Option<&MappingCache> {
+        self.mapcache.as_ref()
+    }
+
+    /// The array shape this FTL manages.
+    pub fn shape(&self) -> &ArrayShape {
+        &self.shape
+    }
+
+    /// The logical→physical map (read-only).
+    pub fn page_map(&self) -> &PageMap {
+        &self.map
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> FtlStats {
+        self.stats
+    }
+
+    /// Resolves a logical page to its current physical location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lpn` is out of range; use [`Ftl::check_lpn`] first for
+    /// untrusted input.
+    pub fn locate(&self, lpn: LogicalPage) -> PhysLoc {
+        self.map.locate(lpn)
+    }
+
+    /// Validates a logical page number.
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::AddressOutOfRange`] when `lpn` exceeds the address
+    /// space.
+    pub fn check_lpn(&self, lpn: LogicalPage) -> Result<(), FtlError> {
+        if lpn.0 >= self.shape.total_pages() {
+            Err(FtlError::AddressOutOfRange(lpn.0))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn allocator(&mut self, cluster: ClusterId, fimm: u32) -> &mut FimmAllocator {
+        let key = (self.shape.topology.global_index(cluster), fimm);
+        let packages = self.shape.packages_per_fimm;
+        let flash = self.shape.flash;
+        self.allocs
+            .entry(key)
+            .or_insert_with(|| FimmAllocator::new(packages, flash))
+    }
+
+    fn write_internal(
+        &mut self,
+        lpn: LogicalPage,
+        target: (ClusterId, u32),
+        class: WriteClass,
+    ) -> Result<PhysLoc, FtlError> {
+        self.check_lpn(lpn)?;
+        let (cluster, fimm) = target;
+        let addr = self
+            .allocator(cluster, fimm)
+            .alloc()
+            .ok_or(FtlError::OutOfSpace { cluster, fimm })?;
+        let new_loc = PhysLoc {
+            cluster,
+            fimm,
+            addr,
+        };
+        let old = self.map.remap(lpn, new_loc);
+        self.invalidate(old);
+        let gkey = (
+            self.shape.topology.global_index(cluster),
+            fimm,
+            (addr.package, addr.page.die, addr.page.block),
+        );
+        let entry = self.blocks.entry(gkey).or_default();
+        entry.programmed += 1;
+        entry.lpns.insert(addr.page.page, lpn);
+        if entry.programmed == self.shape.flash.pages_per_block {
+            self.seal_seq += 1;
+            entry.sealed_seq = self.seal_seq;
+        }
+        match class {
+            WriteClass::Host => self.stats.host_writes += 1,
+            WriteClass::Migration => self.stats.migration_writes += 1,
+            WriteClass::Gc => self.stats.gc_writes += 1,
+        }
+        Ok(new_loc)
+    }
+
+    fn invalidate(&mut self, old: PhysLoc) {
+        let gkey = (
+            self.shape.topology.global_index(old.cluster),
+            old.fimm,
+            (old.addr.package, old.addr.page.die, old.addr.page.block),
+        );
+        if let Some(b) = self.blocks.get_mut(&gkey) {
+            if b.lpns.remove(&old.addr.page.page).is_some() {
+                self.stats.invalidations += 1;
+            }
+        }
+        // If the old location was never physically written (default
+        // layout, pre-existing data) there is nothing to invalidate.
+    }
+
+    /// Services a host write: allocates a fresh page (log-structured) on
+    /// the target FIMM — by default the FIMM currently holding the page —
+    /// and remaps the LPN.
+    ///
+    /// A `Some(target)` override is how Triple-A's storage-contention
+    /// manager redirects stalled writes to adjacent FIMMs (§4.2).
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::OutOfSpace`] when the target FIMM needs GC first;
+    /// [`FtlError::AddressOutOfRange`] for an invalid LPN.
+    pub fn write_alloc(
+        &mut self,
+        lpn: LogicalPage,
+        target: Option<(ClusterId, u32)>,
+    ) -> Result<PhysLoc, FtlError> {
+        self.check_lpn(lpn)?;
+        let t = target.unwrap_or_else(|| {
+            let cur = self.map.locate(lpn);
+            (cur.cluster, cur.fimm)
+        });
+        self.write_internal(lpn, t, WriteClass::Host)
+    }
+
+    /// Relocates a page as part of autonomic data migration or layout
+    /// reshaping, counting the extra write separately for the §6.5
+    /// wear-out analysis.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Ftl::write_alloc`].
+    pub fn migrate(
+        &mut self,
+        lpn: LogicalPage,
+        to_cluster: ClusterId,
+        to_fimm: u32,
+    ) -> Result<PhysLoc, FtlError> {
+        self.check_lpn(lpn)?;
+        self.write_internal(lpn, (to_cluster, to_fimm), WriteClass::Migration)
+    }
+
+    /// First half of clone-then-unlink migration (§4.1): allocates and
+    /// accounts the clone's destination page *without* remapping the
+    /// LPN, so in-flight readers keep using the original copy while the
+    /// clone is being programmed.
+    ///
+    /// Pair with [`Ftl::migrate_commit`] once the program completes.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Ftl::write_alloc`].
+    pub fn migrate_prepare(
+        &mut self,
+        lpn: LogicalPage,
+        to_cluster: ClusterId,
+        to_fimm: u32,
+    ) -> Result<PhysLoc, FtlError> {
+        self.check_lpn(lpn)?;
+        let addr = self
+            .allocator(to_cluster, to_fimm)
+            .alloc()
+            .ok_or(FtlError::OutOfSpace {
+                cluster: to_cluster,
+                fimm: to_fimm,
+            })?;
+        let new_loc = PhysLoc {
+            cluster: to_cluster,
+            fimm: to_fimm,
+            addr,
+        };
+        let gkey = (
+            self.shape.topology.global_index(to_cluster),
+            to_fimm,
+            (addr.package, addr.page.die, addr.page.block),
+        );
+        let entry = self.blocks.entry(gkey).or_default();
+        entry.programmed += 1;
+        entry.lpns.insert(addr.page.page, lpn);
+        if entry.programmed == self.shape.flash.pages_per_block {
+            self.seal_seq += 1;
+            entry.sealed_seq = self.seal_seq;
+        }
+        self.stats.migration_writes += 1;
+        Ok(new_loc)
+    }
+
+    /// Second half of clone-then-unlink migration: atomically remaps the
+    /// LPN to the clone and invalidates the original — but only if the
+    /// mapping still points at `expected_old` (a host write may have
+    /// superseded the data mid-clone). On a stale commit the clone is
+    /// invalidated instead and `false` is returned.
+    pub fn migrate_commit(
+        &mut self,
+        lpn: LogicalPage,
+        new_loc: PhysLoc,
+        expected_old: PhysLoc,
+    ) -> bool {
+        if self.map.locate(lpn) != expected_old {
+            // The data moved under us; discard the clone.
+            self.invalidate(new_loc);
+            return false;
+        }
+        let old = self.map.remap(lpn, new_loc);
+        self.invalidate(old);
+        true
+    }
+
+    /// `true` when the FIMM's free-block pool has shrunk below
+    /// `threshold` blocks and GC should run.
+    pub fn needs_gc(&mut self, cluster: ClusterId, fimm: u32, threshold: u64) -> bool {
+        self.allocator(cluster, fimm).free_blocks() < threshold
+    }
+
+    /// Picks the best GC victim on a FIMM according to the configured
+    /// [`GcPolicy`], among fully-programmed blocks with reclaimable
+    /// space. Returns `None` when nothing is reclaimable.
+    pub fn gc_pick(&self, cluster: ClusterId, fimm: u32) -> Option<GcWork> {
+        let gc = self.shape.topology.global_index(cluster);
+        let pages = self.shape.flash.pages_per_block;
+        let score = |b: &BlockUse| -> u64 {
+            let invalid = b.invalid() as u64;
+            match self.gc_policy {
+                GcPolicy::Greedy => invalid,
+                GcPolicy::CostBenefit => {
+                    // benefit/cost x age: reclaimed space per copied page,
+                    // scaled by how long ago the block sealed (older
+                    // blocks are colder and safer to clean).
+                    let valid = b.lpns.len() as u64;
+                    let age = self.seal_seq.saturating_sub(b.sealed_seq) + 1;
+                    invalid * 1_000 / (valid + 1) * age
+                }
+                GcPolicy::Fifo => u64::MAX - b.sealed_seq,
+            }
+        };
+        self.blocks
+            .iter()
+            .filter(|((c, f, _), b)| *c == gc && *f == fimm && b.programmed == pages)
+            .filter(|(_, b)| b.invalid() > 0)
+            .max_by_key(|(_, b)| score(b))
+            .map(|((_, _, key), b)| GcWork {
+                cluster,
+                fimm,
+                package: key.0,
+                die: key.1,
+                block: key.2,
+                valid: b.lpns.values().copied().collect(),
+            })
+    }
+
+    /// Rewrites one live page out of a GC victim. Returns `Ok(None)` if
+    /// the page has moved since the victim was picked (stale work).
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::OutOfSpace`] if the FIMM cannot absorb the rewrite.
+    pub fn gc_rewrite(
+        &mut self,
+        lpn: LogicalPage,
+        work: &GcWork,
+    ) -> Result<Option<PhysLoc>, FtlError> {
+        let cur = self.map.locate(lpn);
+        let still_in_victim = cur.cluster == work.cluster
+            && cur.fimm == work.fimm
+            && cur.addr.package == work.package
+            && cur.addr.page.die == work.die
+            && cur.addr.page.block == work.block;
+        if !still_in_victim {
+            return Ok(None);
+        }
+        self.write_internal(lpn, (work.cluster, work.fimm), WriteClass::Gc)
+            .map(Some)
+    }
+
+    /// Finalises a GC unit after its live pages were rewritten: recycles
+    /// the erased block into the allocator's free pool.
+    pub fn gc_finish(&mut self, work: &GcWork) {
+        let gc = self.shape.topology.global_index(work.cluster);
+        let key = (work.package, work.die, work.block);
+        self.blocks.remove(&(gc, work.fimm, key));
+        self.allocator(work.cluster, work.fimm).recycle(key);
+        self.stats.gc_erases += 1;
+    }
+
+    /// Host-side total erase count performed via GC on one FIMM.
+    pub fn fimm_free_blocks(&mut self, cluster: ClusterId, fimm: u32) -> u64 {
+        self.allocator(cluster, fimm).free_blocks()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ftl() -> Ftl {
+        Ftl::new(ArrayShape::small_test())
+    }
+
+    #[test]
+    fn write_stays_on_home_fimm_by_default() {
+        let mut f = ftl();
+        let lpn = LogicalPage(4242);
+        let home = f.locate(lpn);
+        let new = f.write_alloc(lpn, None).unwrap();
+        assert_eq!(new.cluster, home.cluster);
+        assert_eq!(new.fimm, home.fimm);
+        assert_eq!(f.locate(lpn), new);
+        assert_eq!(f.stats().host_writes, 1);
+    }
+
+    #[test]
+    fn redirected_write_lands_on_target() {
+        let mut f = ftl();
+        let lpn = LogicalPage(10);
+        let home = f.locate(lpn);
+        let other_fimm = (home.fimm + 1) % f.shape().fimms_per_cluster;
+        let new = f
+            .write_alloc(lpn, Some((home.cluster, other_fimm)))
+            .unwrap();
+        assert_eq!(new.fimm, other_fimm);
+        assert_eq!(f.locate(lpn), new);
+    }
+
+    #[test]
+    fn overwrite_invalidates_previous_page() {
+        let mut f = ftl();
+        let lpn = LogicalPage(77);
+        f.write_alloc(lpn, None).unwrap();
+        f.write_alloc(lpn, None).unwrap();
+        assert_eq!(f.stats().invalidations, 1);
+        assert_eq!(f.stats().host_writes, 2);
+    }
+
+    #[test]
+    fn migrate_counts_separately() {
+        let mut f = ftl();
+        let lpn = LogicalPage(5);
+        let home = f.locate(lpn);
+        let target = ClusterId {
+            switch: home.cluster.switch,
+            index: (home.cluster.index + 1) % f.shape().topology.clusters_per_switch,
+        };
+        let new = f.migrate(lpn, target, 0).unwrap();
+        assert_eq!(new.cluster, target);
+        assert_eq!(f.stats().migration_writes, 1);
+        assert_eq!(f.stats().host_writes, 0);
+        assert!(f.page_map().is_remapped(lpn));
+    }
+
+    #[test]
+    fn out_of_range_lpn_rejected() {
+        let mut f = ftl();
+        let bad = LogicalPage(f.shape().total_pages());
+        assert_eq!(
+            f.write_alloc(bad, None),
+            Err(FtlError::AddressOutOfRange(bad.0))
+        );
+        assert!(f.check_lpn(LogicalPage(0)).is_ok());
+    }
+
+    #[test]
+    fn gc_cycle_reclaims_space() {
+        let mut f = ftl();
+        let home = f.locate(LogicalPage(0));
+        // Overwrite one LPN until every write stream has filled (and
+        // closed) at least one block full of mostly-invalid pages.
+        let g = f.shape().flash;
+        let streams = (f.shape().packages_per_fimm * g.dies * g.planes) as u64;
+        for _ in 0..(g.pages_per_block as u64 * streams) {
+            f.write_alloc(LogicalPage(0), None).unwrap();
+        }
+        // There must now exist a fully-programmed block with invalid pages
+        // on the home fimm of lpn 0.
+        let work = f.gc_pick(home.cluster, home.fimm);
+        if let Some(work) = work {
+            let before = f.fimm_free_blocks(work.cluster, work.fimm);
+            let valid = work.valid.clone();
+            for lpn in valid {
+                f.gc_rewrite(lpn, &work).unwrap();
+            }
+            f.gc_finish(&work);
+            assert_eq!(f.stats().gc_erases, 1);
+            assert!(f.fimm_free_blocks(work.cluster, work.fimm) > before);
+        } else {
+            panic!("expected a GC victim after heavy overwrites");
+        }
+    }
+
+    #[test]
+    fn gc_rewrite_skips_stale_pages() {
+        let mut f = ftl();
+        let lpn = LogicalPage(0);
+        let home = f.locate(lpn);
+        let work = GcWork {
+            cluster: home.cluster,
+            fimm: home.fimm,
+            package: 99, // not where the page lives
+            die: 0,
+            block: 0,
+            valid: vec![lpn],
+        };
+        assert_eq!(f.gc_rewrite(lpn, &work), Ok(None));
+    }
+
+    #[test]
+    fn migrate_prepare_keeps_old_mapping_until_commit() {
+        let mut f = ftl();
+        let lpn = LogicalPage(11);
+        let old = f.locate(lpn);
+        let target = ClusterId {
+            switch: old.cluster.switch,
+            index: (old.cluster.index + 1) % f.shape().topology.clusters_per_switch,
+        };
+        let clone = f.migrate_prepare(lpn, target, 1).unwrap();
+        assert_eq!(f.locate(lpn), old, "readers still see the original");
+        assert_eq!(f.stats().migration_writes, 1);
+        assert!(f.migrate_commit(lpn, clone, old));
+        assert_eq!(f.locate(lpn), clone, "commit unlinks the original");
+    }
+
+    #[test]
+    fn stale_migrate_commit_discards_clone() {
+        let mut f = ftl();
+        let lpn = LogicalPage(3);
+        let old = f.locate(lpn);
+        let target = ClusterId {
+            switch: old.cluster.switch,
+            index: (old.cluster.index + 1) % f.shape().topology.clusters_per_switch,
+        };
+        let clone = f.migrate_prepare(lpn, target, 0).unwrap();
+        // A host write supersedes the data mid-clone.
+        let newer = f.write_alloc(lpn, None).unwrap();
+        assert!(!f.migrate_commit(lpn, clone, old));
+        assert_eq!(f.locate(lpn), newer, "newer data wins");
+        // The discarded clone counts as an invalidation.
+        assert!(f.stats().invalidations >= 1);
+    }
+
+    #[test]
+    fn full_dram_map_never_misses() {
+        let mut f = ftl();
+        for i in 0..100 {
+            assert!(f.map_access(LogicalPage(i * 9_999)));
+        }
+        assert!(f.mapping_cache().is_none());
+    }
+
+    #[test]
+    fn mapping_cache_misses_on_cold_pages() {
+        let mut f = Ftl::with_mapping_cache(ArrayShape::small_test(), 2);
+        assert!(!f.map_access(LogicalPage(0)), "cold miss");
+        assert!(f.map_access(LogicalPage(1)), "same translation page");
+        let c = f.mapping_cache().unwrap();
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn gc_policies_pick_sensible_victims() {
+        // Build two sealed blocks: one old with few invalid pages, one
+        // fresh with many. Greedy prefers the fresh/most-invalid block;
+        // FIFO prefers the oldest.
+        let mut f = ftl();
+        let g = f.shape().flash;
+        let streams = (f.shape().packages_per_fimm * g.dies * g.planes) as u64;
+        // Round 1: seal one block per stream by writing a working set.
+        for i in 0..(g.pages_per_block as u64 * streams) {
+            f.write_alloc(LogicalPage(i * 2 % 512), None).unwrap();
+        }
+        let home = f.locate(LogicalPage(0));
+        let greedy = {
+            f.set_gc_policy(GcPolicy::Greedy);
+            f.gc_pick(home.cluster, home.fimm).expect("victim exists")
+        };
+        f.set_gc_policy(GcPolicy::Fifo);
+        let fifo = f.gc_pick(home.cluster, home.fimm).expect("victim exists");
+        f.set_gc_policy(GcPolicy::CostBenefit);
+        let cb = f.gc_pick(home.cluster, home.fimm).expect("victim exists");
+        // All valid picks; FIFO picks the earliest-sealed block.
+        for w in [&greedy, &fifo, &cb] {
+            assert_eq!(w.cluster, home.cluster);
+        }
+        assert_eq!(f.gc_policy(), GcPolicy::CostBenefit);
+    }
+
+    #[test]
+    fn needs_gc_threshold() {
+        let mut f = ftl();
+        let c = ClusterId::default();
+        assert!(!f.needs_gc(c, 0, 1));
+        let total = f.fimm_free_blocks(c, 0);
+        assert!(f.needs_gc(c, 0, total + 1));
+    }
+}

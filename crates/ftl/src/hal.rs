@@ -1,0 +1,201 @@
+//! Hardware abstraction layer: flash-command composition.
+//!
+//! Paper §2.3: "To extract the true performance of a bare NAND flash, it
+//! is essential to compose flash commands which can take advantage of
+//! high degree of internal parallelism." Given the pages of one I/O
+//! request that land on a single FIMM, [`compose`] picks the widest
+//! applicable command mode:
+//!
+//! 1. pages on distinct dies → one **die-interleave** command;
+//! 2. pages on one die but distinct planes → one **multi-plane** command;
+//! 3. sequential pages of one block → one **cache-mode** command;
+//! 4. otherwise → a sequence of normal single-page commands.
+
+use triplea_fimm::FimmAddr;
+use triplea_flash::{CmdMode, FlashCommand, OpKind};
+
+/// A composed command bound for a specific package (chip-enable target).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ComposedCmd {
+    /// Package on the FIMM that must be chip-enabled.
+    pub package: u32,
+    /// The flash command to issue.
+    pub cmd: FlashCommand,
+}
+
+/// Composes the minimal set of flash commands covering `pages` on one
+/// FIMM, exploiting die-interleave, multi-plane and cache modes.
+///
+/// Pages are grouped per package first (each package is a separate
+/// chip-enable target), then the widest mode that the group supports is
+/// chosen.
+///
+/// # Example
+///
+/// ```
+/// use triplea_ftl::hal::compose;
+/// use triplea_fimm::FimmAddr;
+/// use triplea_flash::{OpKind, PageAddr, CmdMode};
+///
+/// let pages = [
+///     FimmAddr { package: 0, page: PageAddr { die: 0, plane: 0, block: 0, page: 0 } },
+///     FimmAddr { package: 0, page: PageAddr { die: 1, plane: 0, block: 0, page: 0 } },
+/// ];
+/// let cmds = compose(OpKind::Read, &pages);
+/// assert_eq!(cmds.len(), 1);
+/// assert_eq!(cmds[0].cmd.mode, CmdMode::DieInterleave);
+/// ```
+pub fn compose(kind: OpKind, pages: &[FimmAddr]) -> Vec<ComposedCmd> {
+    let mut out = Vec::new();
+    if pages.is_empty() {
+        return out;
+    }
+    // Group by package, preserving order.
+    let mut packages: Vec<u32> = pages.iter().map(|p| p.package).collect();
+    packages.sort_unstable();
+    packages.dedup();
+
+    for pkg in packages {
+        let group: Vec<FimmAddr> = pages.iter().copied().filter(|p| p.package == pkg).collect();
+        out.extend(compose_package(kind, pkg, &group));
+    }
+    out
+}
+
+fn all_distinct<T: Ord + Copy>(xs: impl Iterator<Item = T>) -> bool {
+    let mut v: Vec<T> = xs.collect();
+    let n = v.len();
+    v.sort_unstable();
+    v.dedup();
+    v.len() == n
+}
+
+fn compose_package(kind: OpKind, package: u32, group: &[FimmAddr]) -> Vec<ComposedCmd> {
+    let targets: Vec<_> = group.iter().map(|g| g.page).collect();
+    if targets.len() == 1 {
+        return vec![ComposedCmd {
+            package,
+            cmd: FlashCommand::multi(kind, targets, CmdMode::Normal),
+        }];
+    }
+    // Erase never uses cache mode and rarely batches; keep it simple.
+    let dies_distinct = all_distinct(targets.iter().map(|t| t.die));
+    if dies_distinct {
+        return vec![ComposedCmd {
+            package,
+            cmd: FlashCommand::multi(kind, targets, CmdMode::DieInterleave),
+        }];
+    }
+    let one_die = targets.iter().all(|t| t.die == targets[0].die);
+    if one_die && all_distinct(targets.iter().map(|t| t.plane)) {
+        return vec![ComposedCmd {
+            package,
+            cmd: FlashCommand::multi(kind, targets, CmdMode::MultiPlane),
+        }];
+    }
+    let same_block = one_die && targets.iter().all(|t| t.block == targets[0].block);
+    let sequential = same_block && targets.windows(2).all(|w| w[1].page == w[0].page + 1);
+    if sequential && kind != OpKind::Erase {
+        return vec![ComposedCmd {
+            package,
+            cmd: FlashCommand::multi(kind, targets, CmdMode::Cache),
+        }];
+    }
+    // Fallback: one normal command per page.
+    targets
+        .into_iter()
+        .map(|t| ComposedCmd {
+            package,
+            cmd: FlashCommand::multi(kind, vec![t], CmdMode::Normal),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triplea_flash::{FlashGeometry, PageAddr};
+
+    fn fa(pkg: u32, die: u32, block: u32, page: u32) -> FimmAddr {
+        FimmAddr {
+            package: pkg,
+            page: PageAddr {
+                die,
+                plane: block % 2,
+                block,
+                page,
+            },
+        }
+    }
+
+    fn assert_valid(cmds: &[ComposedCmd]) {
+        let g = FlashGeometry::default();
+        for c in cmds {
+            c.cmd.validate(&g).expect("composed command must validate");
+        }
+    }
+
+    #[test]
+    fn single_page_is_normal() {
+        let cmds = compose(OpKind::Read, &[fa(0, 0, 0, 0)]);
+        assert_eq!(cmds.len(), 1);
+        assert_eq!(cmds[0].cmd.mode, CmdMode::Normal);
+        assert_valid(&cmds);
+    }
+
+    #[test]
+    fn cross_die_uses_die_interleave() {
+        let cmds = compose(OpKind::Read, &[fa(0, 0, 0, 0), fa(0, 1, 5, 3)]);
+        assert_eq!(cmds.len(), 1);
+        assert_eq!(cmds[0].cmd.mode, CmdMode::DieInterleave);
+        assert_valid(&cmds);
+    }
+
+    #[test]
+    fn same_die_distinct_planes_multiplane() {
+        let cmds = compose(OpKind::Program, &[fa(0, 0, 0, 0), fa(0, 0, 1, 0)]);
+        assert_eq!(cmds.len(), 1);
+        assert_eq!(cmds[0].cmd.mode, CmdMode::MultiPlane);
+        assert_valid(&cmds);
+    }
+
+    #[test]
+    fn sequential_same_block_cache_mode() {
+        let cmds = compose(
+            OpKind::Read,
+            &[fa(0, 0, 2, 4), fa(0, 0, 2, 5), fa(0, 0, 2, 6)],
+        );
+        assert_eq!(cmds.len(), 1);
+        assert_eq!(cmds[0].cmd.mode, CmdMode::Cache);
+        assert_valid(&cmds);
+    }
+
+    #[test]
+    fn scattered_same_plane_falls_back_to_singles() {
+        let cmds = compose(OpKind::Read, &[fa(0, 0, 0, 9), fa(0, 0, 2, 1)]);
+        assert_eq!(cmds.len(), 2);
+        assert!(cmds.iter().all(|c| c.cmd.mode == CmdMode::Normal));
+        assert_valid(&cmds);
+    }
+
+    #[test]
+    fn packages_split_commands() {
+        let cmds = compose(OpKind::Read, &[fa(0, 0, 0, 0), fa(3, 0, 0, 0)]);
+        assert_eq!(cmds.len(), 2);
+        let pkgs: Vec<u32> = cmds.iter().map(|c| c.package).collect();
+        assert_eq!(pkgs, vec![0, 3]);
+        assert_valid(&cmds);
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        assert!(compose(OpKind::Read, &[]).is_empty());
+    }
+
+    #[test]
+    fn erase_never_cache_mode() {
+        let cmds = compose(OpKind::Erase, &[fa(0, 0, 2, 0), fa(0, 0, 2, 1)]);
+        assert!(cmds.iter().all(|c| c.cmd.mode != CmdMode::Cache));
+        assert_valid(&cmds);
+    }
+}

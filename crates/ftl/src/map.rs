@@ -1,0 +1,148 @@
+//! Logical→physical translation with sparse overrides.
+
+use std::collections::HashMap;
+
+use crate::layout::StripedLayout;
+use crate::shape::{ArrayShape, LogicalPage, PhysLoc};
+
+/// The array-wide page map: a default [`StripedLayout`] plus a sparse
+/// override table holding every page that writes, garbage collection,
+/// data migration or layout reshaping have relocated.
+///
+/// Keeping the default implicit is what lets the simulator address 16 TB
+/// (4 billion pages) while only materialising the trace's footprint.
+#[derive(Clone, Debug)]
+pub struct PageMap {
+    layout: StripedLayout,
+    overrides: HashMap<LogicalPage, PhysLoc>,
+    remaps: u64,
+}
+
+impl PageMap {
+    /// Creates an un-remapped page map over `shape`.
+    pub fn new(shape: ArrayShape) -> Self {
+        PageMap {
+            layout: StripedLayout::new(shape),
+            overrides: HashMap::new(),
+            remaps: 0,
+        }
+    }
+
+    /// The underlying default layout.
+    pub fn layout(&self) -> &StripedLayout {
+        &self.layout
+    }
+
+    /// Resolves a logical page: override if present, default otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lpn` is outside the address space (propagated from
+    /// [`StripedLayout::locate`]).
+    pub fn locate(&self, lpn: LogicalPage) -> PhysLoc {
+        self.overrides
+            .get(&lpn)
+            .copied()
+            .unwrap_or_else(|| self.layout.locate(lpn))
+    }
+
+    /// `true` if the page has been relocated away from its default spot.
+    pub fn is_remapped(&self, lpn: LogicalPage) -> bool {
+        self.overrides.contains_key(&lpn)
+    }
+
+    /// Points `lpn` at a new physical location, returning the previous
+    /// one.
+    pub fn remap(&mut self, lpn: LogicalPage, to: PhysLoc) -> PhysLoc {
+        let old = self.locate(lpn);
+        self.remaps += 1;
+        if to == self.layout.locate(lpn) {
+            // Returning home: drop the override to keep the table sparse.
+            self.overrides.remove(&lpn);
+        } else {
+            self.overrides.insert(lpn, to);
+        }
+        old
+    }
+
+    /// Number of pages currently living away from their default location.
+    pub fn override_count(&self) -> usize {
+        self.overrides.len()
+    }
+
+    /// Total remap operations ever performed.
+    pub fn total_remaps(&self) -> u64 {
+        self.remaps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triplea_fimm::FimmAddr;
+    use triplea_flash::PageAddr;
+
+    fn map() -> PageMap {
+        PageMap::new(ArrayShape::small_test())
+    }
+
+    fn some_loc(fimm: u32) -> PhysLoc {
+        PhysLoc {
+            cluster: Default::default(),
+            fimm,
+            addr: FimmAddr {
+                package: 1,
+                page: PageAddr {
+                    die: 1,
+                    plane: 1,
+                    block: 5,
+                    page: 9,
+                },
+            },
+        }
+    }
+
+    #[test]
+    fn unmapped_pages_use_default_layout() {
+        let m = map();
+        let lpn = LogicalPage(12_345);
+        assert_eq!(m.locate(lpn), m.layout().locate(lpn));
+        assert!(!m.is_remapped(lpn));
+    }
+
+    #[test]
+    fn remap_redirects_lookup() {
+        let mut m = map();
+        let lpn = LogicalPage(7);
+        let target = some_loc(1);
+        let old = m.remap(lpn, target);
+        assert_eq!(old, m.layout().locate(lpn));
+        assert_eq!(m.locate(lpn), target);
+        assert!(m.is_remapped(lpn));
+        assert_eq!(m.override_count(), 1);
+    }
+
+    #[test]
+    fn remap_home_drops_override() {
+        let mut m = map();
+        let lpn = LogicalPage(7);
+        let home = m.layout().locate(lpn);
+        m.remap(lpn, some_loc(1));
+        m.remap(lpn, home);
+        assert_eq!(m.override_count(), 0, "override table stays sparse");
+        assert_eq!(m.locate(lpn), home);
+        assert_eq!(m.total_remaps(), 2);
+    }
+
+    #[test]
+    fn remap_returns_previous_location() {
+        let mut m = map();
+        let lpn = LogicalPage(99);
+        let first = some_loc(0);
+        let second = some_loc(1);
+        m.remap(lpn, first);
+        let old = m.remap(lpn, second);
+        assert_eq!(old, first);
+        assert_eq!(m.locate(lpn), second);
+    }
+}

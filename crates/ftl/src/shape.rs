@@ -1,0 +1,154 @@
+//! Array dimensions and address newtypes.
+
+use triplea_fimm::FimmAddr;
+use triplea_flash::FlashGeometry;
+use triplea_pcie::{ClusterId, Topology};
+
+/// A logical page number in the array's global address space.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LogicalPage(pub u64);
+
+impl std::fmt::Display for LogicalPage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lpn{}", self.0)
+    }
+}
+
+/// A fully resolved physical location: cluster, FIMM, package and page.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct PhysLoc {
+    /// Which cluster (endpoint) holds the page.
+    pub cluster: ClusterId,
+    /// FIMM index within the cluster.
+    pub fimm: u32,
+    /// Package and in-package page address.
+    pub addr: FimmAddr,
+}
+
+impl std::fmt::Display for PhysLoc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/f{}/{}", self.cluster, self.fimm, self.addr)
+    }
+}
+
+/// Physical dimensions of the whole array (paper §5.1 baseline: 4
+/// switches × 16 clusters × 4 FIMMs × 8 packages ⇒ 16 TB).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ArrayShape {
+    /// PCI-E network shape.
+    pub topology: Topology,
+    /// FIMMs per cluster.
+    pub fimms_per_cluster: u32,
+    /// NAND packages per FIMM.
+    pub packages_per_fimm: u32,
+    /// Geometry of each package.
+    pub flash: FlashGeometry,
+}
+
+impl Default for ArrayShape {
+    fn default() -> Self {
+        ArrayShape {
+            topology: Topology::default(),
+            fimms_per_cluster: 4,
+            packages_per_fimm: 8,
+            flash: FlashGeometry::default(),
+        }
+    }
+}
+
+impl ArrayShape {
+    /// A deliberately small shape (2×4 network, 2 FIMMs × 2 packages)
+    /// for unit tests and doc examples.
+    pub fn small_test() -> Self {
+        ArrayShape {
+            topology: Topology {
+                switches: 2,
+                clusters_per_switch: 4,
+            },
+            fimms_per_cluster: 2,
+            packages_per_fimm: 8,
+            flash: FlashGeometry {
+                dies: 2,
+                planes: 2,
+                blocks_per_plane: 64,
+                pages_per_block: 32,
+                page_size: 4096,
+                endurance: 1000,
+            },
+        }
+    }
+
+    /// Pages in one package.
+    pub fn pages_per_package(&self) -> u64 {
+        self.flash.total_pages()
+    }
+
+    /// Pages in one FIMM.
+    pub fn pages_per_fimm(&self) -> u64 {
+        self.pages_per_package() * self.packages_per_fimm as u64
+    }
+
+    /// Pages in one cluster.
+    pub fn pages_per_cluster(&self) -> u64 {
+        self.pages_per_fimm() * self.fimms_per_cluster as u64
+    }
+
+    /// Pages in the whole array.
+    pub fn total_pages(&self) -> u64 {
+        self.pages_per_cluster() * self.topology.total_clusters() as u64
+    }
+
+    /// Usable capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.total_pages() * self.flash.page_size as u64
+    }
+
+    /// Validates that a physical location exists in this shape.
+    pub fn contains(&self, loc: PhysLoc) -> bool {
+        loc.cluster.switch < self.topology.switches
+            && loc.cluster.index < self.topology.clusters_per_switch
+            && loc.fimm < self.fimms_per_cluster
+            && loc.addr.package < self.packages_per_fimm
+            && self.flash.check(loc.addr.page).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_shape_is_16tb() {
+        let s = ArrayShape::default();
+        // 64 clusters x 4 FIMMs x 64 GiB-per-FIMM... FIMM = 8 x 8 GiB
+        assert_eq!(s.capacity_bytes(), 16 * 1024u64.pow(4));
+        assert_eq!(s.topology.total_clusters(), 64);
+    }
+
+    #[test]
+    fn page_hierarchy_multiplies() {
+        let s = ArrayShape::small_test();
+        assert_eq!(s.pages_per_fimm(), 8 * s.pages_per_package());
+        assert_eq!(s.pages_per_cluster(), 2 * s.pages_per_fimm());
+        assert_eq!(s.total_pages(), 8 * s.pages_per_cluster());
+    }
+
+    #[test]
+    fn contains_rejects_out_of_shape() {
+        let s = ArrayShape::small_test();
+        let mut loc = PhysLoc::default();
+        assert!(s.contains(loc));
+        loc.fimm = 2;
+        assert!(!s.contains(loc));
+        loc.fimm = 0;
+        loc.cluster.switch = 2;
+        assert!(!s.contains(loc));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(LogicalPage(5).to_string(), "lpn5");
+        let loc = PhysLoc::default();
+        assert_eq!(loc.to_string(), "s0c0/f0/pkg0/d0p0b0pg0");
+    }
+}

@@ -1,0 +1,155 @@
+//! The three PCI-E device roles of the array fabric.
+
+use triplea_sim::Nanos;
+
+use crate::flow::CreditQueue;
+use crate::link::DuplexLink;
+use crate::topology::PcieParams;
+
+/// The PCI-E root complex: generates transactions on behalf of hosts and
+/// routes between its ports (paper §2.1). Holds the array's front-end
+/// queue, whose occupancy limit the paper sets to 650–1000 entries.
+#[derive(Clone, Debug)]
+pub struct RootComplex {
+    /// Front-end transaction queue (bounded).
+    pub queue: CreditQueue,
+    /// Routing latency per packet.
+    pub route_ns: Nanos,
+}
+
+impl RootComplex {
+    /// Creates a root complex from fabric parameters.
+    pub fn new(params: &PcieParams) -> Self {
+        RootComplex {
+            queue: CreditQueue::new("rc", params.rc_queue),
+            route_ns: params.rc_route_ns,
+        }
+    }
+}
+
+/// A PCI-E switch: virtual bridges between one upstream port (toward the
+/// RC) and many downstream ports (toward cluster endpoints), forwarding
+/// packets by address routing (paper §2.1, Figure 2).
+///
+/// Every virtual bridge (downstream port) has its *own* virtual-channel
+/// buffer, as in real PCI-E switches — a congested endpoint exhausts only
+/// its own port's credits and cannot head-of-line-block traffic bound for
+/// sibling ports.
+#[derive(Clone, Debug)]
+pub struct Switch {
+    /// Per-downstream-port virtual-channel buffers.
+    pub port_queues: Vec<CreditQueue>,
+    /// Link to the root complex.
+    pub uplink: DuplexLink,
+    /// Links to the cluster endpoints, one per downstream port.
+    pub downlinks: Vec<DuplexLink>,
+    /// Routing latency per packet.
+    pub route_ns: Nanos,
+}
+
+impl Switch {
+    /// Creates a switch with `ports` downstream ports, each with
+    /// `params.switch_queue` buffer entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports == 0`.
+    pub fn new(params: &PcieParams, ports: u32) -> Self {
+        assert!(ports > 0, "a switch needs downstream ports");
+        Switch {
+            port_queues: (0..ports)
+                .map(|_| CreditQueue::new("switch-port", params.switch_queue))
+                .collect(),
+            uplink: DuplexLink::new(params.gen, params.uplink_lanes, params.propagation_ns),
+            downlinks: (0..ports)
+                .map(|_| DuplexLink::new(params.gen, params.lanes, params.propagation_ns))
+                .collect(),
+            route_ns: params.switch_route_ns,
+        }
+    }
+
+    /// Number of downstream ports.
+    pub fn port_count(&self) -> u32 {
+        self.downlinks.len() as u32
+    }
+}
+
+/// A cluster's PCI-E endpoint (paper §3.4, Figure 4): device layers that
+/// dis/assemble packets, bounded up/downstream buffers, and control logic
+/// (the HAL lives host-side in `triplea-ftl`).
+#[derive(Clone, Debug)]
+pub struct Endpoint {
+    /// Downstream buffer: requests admitted into the cluster but not yet
+    /// completed by the flash backend.
+    pub queue: CreditQueue,
+    /// Device-layer latency per packet (strip/add headers, CRC).
+    pub device_ns: Nanos,
+}
+
+impl Endpoint {
+    /// Creates an endpoint from fabric parameters.
+    pub fn new(params: &PcieParams) -> Self {
+        Endpoint {
+            queue: CreditQueue::new("ep", params.ep_queue),
+            device_ns: params.ep_device_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::Admission;
+    use triplea_sim::SimTime;
+
+    #[test]
+    fn rc_queue_bounded_by_params() {
+        let rc = RootComplex::new(&PcieParams::default());
+        assert_eq!(rc.queue.capacity(), 800);
+        assert_eq!(rc.route_ns, 200);
+    }
+
+    #[test]
+    fn switch_has_requested_ports() {
+        let sw = Switch::new(&PcieParams::default(), 16);
+        assert_eq!(sw.port_count(), 16);
+        assert_eq!(sw.port_queues.len(), 16);
+        assert_eq!(sw.port_queues[0].capacity(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "downstream ports")]
+    fn switch_zero_ports_panics() {
+        Switch::new(&PcieParams::default(), 0);
+    }
+
+    #[test]
+    fn endpoint_admission_and_backpressure() {
+        let mut ep = Endpoint::new(&PcieParams {
+            ep_queue: 2,
+            ..PcieParams::default()
+        });
+        assert_eq!(ep.queue.admit(1), Admission::Admitted);
+        assert_eq!(ep.queue.admit(2), Admission::Admitted);
+        assert_eq!(ep.queue.admit(3), Admission::Queued);
+    }
+
+    #[test]
+    fn uplink_is_wider_than_endpoint_links() {
+        let sw = Switch::new(&PcieParams::default(), 4);
+        assert!(
+            sw.uplink.up.bytes_per_sec() > sw.downlinks[0].up.bytes_per_sec() * 3,
+            "uplink should aggregate a whole switch's traffic"
+        );
+    }
+
+    #[test]
+    fn switch_links_are_independent_resources() {
+        let mut sw = Switch::new(&PcieParams::default(), 2);
+        sw.downlinks[0].down.transmit(SimTime::ZERO, 4096);
+        let other = sw.downlinks[1].down.transmit(SimTime::ZERO, 4096);
+        assert_eq!(other.wait, 0);
+        let up = sw.uplink.up.transmit(SimTime::ZERO, 4096);
+        assert_eq!(up.wait, 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! PCI-Express fabric model — the interconnect of the Triple-A all-flash
+//! array (paper §2.1, Figures 2 and 5).
+//!
+//! PCI-E is a dual-simplex, point-to-point serial interconnect. The model
+//! captures what the paper's simulator captured (§5.1): "PCI-E data
+//! movement delay, switching and routing latencies, and I/O request
+//! contention cycles":
+//!
+//! * [`Tlp`] — transaction-layer packets with realistic wire overhead.
+//! * [`PcieLink`] / [`DuplexLink`] — serialising links with generation/
+//!   lane-derived bandwidth and propagation delay.
+//! * [`CreditQueue`] — virtual-channel buffers with credit-based flow
+//!   control: a transmitter may only send when the receiver has space,
+//!   so full buffers back-pressure upstream (the "queue stall" times of
+//!   the paper's Figure 15).
+//! * [`Switch`], [`RootComplex`], [`Endpoint`] — the three device roles,
+//!   with address routing over a configurable [`Topology`].
+//!
+//! # Example
+//!
+//! ```
+//! use triplea_pcie::{PcieLink, LinkGen, Tlp};
+//! use triplea_sim::SimTime;
+//!
+//! let mut link = PcieLink::new(LinkGen::Gen3, 4, 100);
+//! let tlp = Tlp::mem_read_completion(4096);
+//! let r = link.transmit(SimTime::ZERO, tlp.wire_bytes() as u64);
+//! assert!(r.end > r.start);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod device;
+mod flow;
+mod link;
+mod tlp;
+mod topology;
+
+pub use device::{Endpoint, RootComplex, Switch};
+pub use flow::{Admission, CreditQueue};
+pub use link::{DuplexLink, LinkGen, PcieLink};
+pub use tlp::{Tlp, TlpKind};
+pub use topology::{ClusterId, PcieParams, Topology};

@@ -1,0 +1,149 @@
+//! Transaction-layer packets.
+
+/// The TLP kinds the flash array exchanges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TlpKind {
+    /// Memory read request (no payload).
+    MemRead,
+    /// Memory write request (carries payload).
+    MemWrite,
+    /// Completion with data (carries payload).
+    Completion,
+}
+
+/// A transaction-layer packet, sized for wire-time computation.
+///
+/// Per-packet overhead models PCI-E 3.0 framing: 2 B start + 2 B sequence
+/// plus 12 B TLP header, 4 B LCRC, and 4 B end/framing = 24 B (paper §3.4:
+/// the endpoint's device layers strip exactly these header/sequence/CRC
+/// fields of each layer).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Tlp {
+    kind: TlpKind,
+    payload: u32,
+}
+
+/// Framing + header + CRC bytes added to every TLP on the wire.
+pub const TLP_OVERHEAD_BYTES: u32 = 24;
+
+impl Tlp {
+    /// A read request (header only).
+    pub fn mem_read() -> Self {
+        Tlp {
+            kind: TlpKind::MemRead,
+            payload: 0,
+        }
+    }
+
+    /// A posted write carrying `payload` bytes.
+    pub fn mem_write(payload: u32) -> Self {
+        Tlp {
+            kind: TlpKind::MemWrite,
+            payload,
+        }
+    }
+
+    /// A completion-with-data TLP answering a read of `payload` bytes.
+    pub fn mem_read_completion(payload: u32) -> Self {
+        Tlp {
+            kind: TlpKind::Completion,
+            payload,
+        }
+    }
+
+    /// Packet kind.
+    pub fn kind(&self) -> TlpKind {
+        self.kind
+    }
+
+    /// Payload bytes carried.
+    pub fn payload_bytes(&self) -> u32 {
+        self.payload
+    }
+
+    /// Total bytes on the wire (payload + framing overhead).
+    pub fn wire_bytes(&self) -> u32 {
+        self.payload + TLP_OVERHEAD_BYTES
+    }
+
+    /// Splits a transfer of `total` payload bytes into TLPs no larger
+    /// than `max_payload` each (PCI-E 3.0 max payload is 4 KB, §5.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_payload == 0`.
+    pub fn segment(kind: TlpKind, total: u64, max_payload: u32) -> Vec<Tlp> {
+        assert!(max_payload > 0, "max payload must be positive");
+        if total == 0 {
+            return vec![Tlp { kind, payload: 0 }];
+        }
+        let mut out = Vec::new();
+        let mut remaining = total;
+        while remaining > 0 {
+            let chunk = remaining.min(max_payload as u64) as u32;
+            out.push(Tlp {
+                kind,
+                payload: chunk,
+            });
+            remaining -= chunk as u64;
+        }
+        out
+    }
+
+    /// Wire bytes for a `total`-byte transfer after segmentation.
+    pub fn segmented_wire_bytes(kind: TlpKind, total: u64, max_payload: u32) -> u64 {
+        Tlp::segment(kind, total, max_payload)
+            .iter()
+            .map(|t| t.wire_bytes() as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_bytes_include_overhead() {
+        assert_eq!(Tlp::mem_read().wire_bytes(), 24);
+        assert_eq!(Tlp::mem_write(4096).wire_bytes(), 4120);
+        assert_eq!(Tlp::mem_read_completion(512).wire_bytes(), 536);
+    }
+
+    #[test]
+    fn segmentation_respects_max_payload() {
+        let tlps = Tlp::segment(TlpKind::MemWrite, 10_000, 4096);
+        assert_eq!(tlps.len(), 3);
+        assert_eq!(tlps[0].payload_bytes(), 4096);
+        assert_eq!(tlps[2].payload_bytes(), 10_000 - 2 * 4096);
+        let total: u64 = tlps.iter().map(|t| t.payload_bytes() as u64).sum();
+        assert_eq!(total, 10_000);
+    }
+
+    #[test]
+    fn zero_byte_transfer_is_one_header() {
+        let tlps = Tlp::segment(TlpKind::MemRead, 0, 4096);
+        assert_eq!(tlps.len(), 1);
+        assert_eq!(tlps[0].wire_bytes(), 24);
+    }
+
+    #[test]
+    fn segmented_wire_bytes_adds_per_packet_overhead() {
+        // 8192 bytes at 4096 max payload: 2 packets -> 2x24 overhead
+        assert_eq!(
+            Tlp::segmented_wire_bytes(TlpKind::Completion, 8192, 4096),
+            8192 + 48
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "max payload")]
+    fn zero_max_payload_panics() {
+        Tlp::segment(TlpKind::MemRead, 1, 0);
+    }
+
+    #[test]
+    fn kind_accessor() {
+        assert_eq!(Tlp::mem_write(1).kind(), TlpKind::MemWrite);
+    }
+}

@@ -1,0 +1,212 @@
+//! A stable, timestamped event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest event pops first.
+        // Sequence numbers break ties, giving FIFO order among simultaneous
+        // events and therefore fully deterministic simulations.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A priority queue of events ordered by [`SimTime`], with FIFO tie-breaking.
+///
+/// Events pushed at equal timestamps pop in insertion order, which makes the
+/// simulation deterministic regardless of heap internals.
+///
+/// # Example
+///
+/// ```
+/// use triplea_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_us(5), 'b');
+/// q.push(SimTime::from_us(5), 'c');
+/// q.push(SimTime::from_us(1), 'a');
+/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, ['a', 'b', 'c']);
+/// ```
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    pushed: u64,
+    popped: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            pushed: 0,
+            popped: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at `time`.
+    pub fn push(&mut self, time: SimTime, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pushed += 1;
+        self.heap.push(Entry { time, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, or `None` when empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let e = self.heap.pop()?;
+        self.popped += 1;
+        Some((e.time, e.payload))
+    }
+
+    /// The timestamp of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events ever pushed (diagnostics).
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Total events ever popped (diagnostics).
+    pub fn total_popped(&self) -> u64 {
+        self.popped
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.heap.len())
+            .field("pushed", &self.pushed)
+            .field("popped", &self.popped)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(30), 3);
+        q.push(SimTime::from_nanos(10), 1);
+        q.push(SimTime::from_nanos(20), 2);
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(10), 1)));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(20), 2)));
+        assert_eq!(q.pop(), Some((SimTime::from_nanos(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(SimTime::from_nanos(42), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(7), "x");
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(7)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, ());
+        q.push(SimTime::ZERO, ());
+        q.pop();
+        assert_eq!(q.total_pushed(), 2);
+        assert_eq!(q.total_popped(), 1);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Popping always yields non-decreasing timestamps, and
+            /// every pushed event comes back exactly once.
+            #[test]
+            fn pops_sorted_and_complete(times in prop::collection::vec(0u64..10_000, 1..500)) {
+                let mut q = EventQueue::new();
+                for (i, &t) in times.iter().enumerate() {
+                    q.push(SimTime::from_nanos(t), i);
+                }
+                let mut last = SimTime::ZERO;
+                let mut seen = vec![false; times.len()];
+                while let Some((t, i)) = q.pop() {
+                    prop_assert!(t >= last);
+                    prop_assert!(!seen[i]);
+                    seen[i] = true;
+                    last = t;
+                }
+                prop_assert!(seen.iter().all(|&s| s));
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(5), 'a');
+        q.push(SimTime::from_nanos(1), 'b');
+        assert_eq!(q.pop().unwrap().1, 'b');
+        q.push(SimTime::from_nanos(2), 'c');
+        assert_eq!(q.pop().unwrap().1, 'c');
+        assert_eq!(q.pop().unwrap().1, 'a');
+    }
+}

@@ -1,0 +1,169 @@
+//! Trace analysis: recovers Table-1 style characteristics from a trace.
+
+use std::collections::HashMap;
+
+use triplea_core::{IoOp, Trace};
+use triplea_ftl::ArrayShape;
+
+/// Measured characteristics of a trace against an array shape — the
+/// columns of the paper's Table 1, recomputed from data.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceStats {
+    /// Number of requests.
+    pub requests: usize,
+    /// Fraction of reads.
+    pub read_ratio: f64,
+    /// Clusters receiving at least `max(5 %, 2× fair share)` of all I/O.
+    /// (The paper's Figure 1 uses a flat 10 %, but its own Table 1
+    /// counts clusters below that — e.g. hm's five hot clusters carry
+    /// 8.7 % each — so the census must scale with the array size.)
+    pub hot_clusters: usize,
+    /// Fraction of I/O heading to those hot clusters.
+    pub hot_io_ratio: f64,
+    /// Fraction of reads that do *not* continue the preceding access in
+    /// their cluster (randomness estimate).
+    pub read_randomness: f64,
+    /// Same for writes.
+    pub write_randomness: f64,
+}
+
+/// Analyzes a trace against `shape` using the default data layout.
+pub fn analyze(trace: &Trace, shape: &ArrayShape) -> TraceStats {
+    let per_cluster = shape.pages_per_cluster();
+    let mut per_cluster_io: HashMap<u64, u64> = HashMap::new();
+    let mut last_in_cluster: HashMap<u64, u64> = HashMap::new();
+    let mut reads = 0usize;
+    let mut seq = [0u64; 2]; // [read, write]
+    let mut counted = [0u64; 2];
+
+    for r in trace.requests() {
+        let cluster = r.lpn.0 / per_cluster;
+        *per_cluster_io.entry(cluster).or_default() += 1;
+        let idx = match r.op {
+            IoOp::Read => {
+                reads += 1;
+                0
+            }
+            IoOp::Write => 1,
+        };
+        if let Some(&last_end) = last_in_cluster.get(&cluster) {
+            counted[idx] += 1;
+            if r.lpn.0 == last_end {
+                seq[idx] += 1;
+            }
+        }
+        last_in_cluster.insert(cluster, r.lpn.0 + r.pages as u64);
+    }
+
+    let total = trace.len() as u64;
+    let n_clusters = shape.topology.total_clusters().max(1) as f64;
+    let threshold = (2.0 / n_clusters).max(0.05);
+    let (hot_clusters, hot_io) = if total == 0 {
+        (0, 0.0)
+    } else {
+        let hot: Vec<u64> = per_cluster_io
+            .values()
+            .copied()
+            .filter(|&c| c as f64 / total as f64 >= threshold)
+            .collect();
+        let hot_sum: u64 = hot.iter().sum();
+        (hot.len(), hot_sum as f64 / total as f64)
+    };
+
+    let rand_of = |i: usize| {
+        if counted[i] == 0 {
+            0.0
+        } else {
+            1.0 - seq[i] as f64 / counted[i] as f64
+        }
+    };
+
+    TraceStats {
+        requests: trace.len(),
+        read_ratio: if trace.is_empty() {
+            0.0
+        } else {
+            reads as f64 / trace.len() as f64
+        },
+        hot_clusters,
+        hot_io_ratio: hot_io,
+        read_randomness: rand_of(0),
+        write_randomness: rand_of(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triplea_core::TraceRequest;
+    use triplea_ftl::LogicalPage;
+    use triplea_sim::SimTime;
+
+    fn shape() -> ArrayShape {
+        ArrayShape::small_test()
+    }
+
+    fn req(i: u64, op: IoOp, lpn: u64) -> TraceRequest {
+        TraceRequest {
+            at: SimTime::from_us(i),
+            op,
+            lpn: LogicalPage(lpn),
+            pages: 1,
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_zeroed() {
+        let s = analyze(&Trace::default(), &shape());
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.hot_clusters, 0);
+        assert_eq!(s.read_ratio, 0.0);
+    }
+
+    #[test]
+    fn fully_sequential_reads_have_zero_randomness() {
+        let t: Trace = (0..100).map(|i| req(i, IoOp::Read, i)).collect();
+        let s = analyze(&t, &shape());
+        assert!(s.read_randomness < 1e-9);
+        assert_eq!(s.read_ratio, 1.0);
+    }
+
+    #[test]
+    fn scattered_reads_have_high_randomness() {
+        let t: Trace = (0..100)
+            .map(|i| req(i, IoOp::Read, (i * 37) % 999))
+            .collect();
+        let s = analyze(&t, &shape());
+        assert!(s.read_randomness > 0.9, "got {}", s.read_randomness);
+    }
+
+    #[test]
+    fn hot_cluster_census_matches_definition() {
+        let per = shape().pages_per_cluster();
+        // 60% of IO to cluster 0, 40% spread over clusters 1..8 (~5.7% each)
+        let mut v = Vec::new();
+        for i in 0..60 {
+            v.push(req(i, IoOp::Read, i % 16));
+        }
+        for i in 0..40 {
+            v.push(req(60 + i, IoOp::Read, per * (1 + i % 7)));
+        }
+        let s = analyze(&Trace::new(v), &shape());
+        assert_eq!(s.hot_clusters, 1);
+        assert!((s.hot_io_ratio - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixed_ops_tracked_separately() {
+        let mut v = Vec::new();
+        for i in 0..50 {
+            v.push(req(i, IoOp::Read, i)); // sequential reads
+        }
+        for i in 0..50 {
+            v.push(req(50 + i, IoOp::Write, (i * 997) % 5_000)); // random writes
+        }
+        let s = analyze(&Trace::new(v), &shape());
+        assert!((s.read_ratio - 0.5).abs() < 1e-9);
+        assert!(s.write_randomness > 0.8);
+    }
+}

@@ -1,0 +1,226 @@
+//! Plain-text trace interchange: load and save traces as CSV.
+//!
+//! The paper replays block traces from SNIA IOTTA and UMass; this module
+//! is the ingestion point for replaying *real* traces through the array
+//! once you have them. The format is one record per line:
+//!
+//! ```text
+//! # comment lines and an optional header are ignored
+//! time_ns,op,lpn,pages
+//! 0,R,1024,1
+//! 1500,W,2048,8
+//! ```
+//!
+//! `op` accepts `R`/`W` (case-insensitive) or `read`/`write`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use triplea_core::{IoOp, Trace, TraceRequest};
+use triplea_ftl::LogicalPage;
+use triplea_sim::SimTime;
+
+/// Errors produced while parsing a CSV trace.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line failed to parse; carries the 1-based line number and a
+    /// description.
+    Parse {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "trace i/o error: {e}"),
+            CsvError::Parse { line, message } => {
+                write!(f, "trace parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CsvError::Io(e) => Some(e),
+            CsvError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+fn parse_op(s: &str, line: usize) -> Result<IoOp, CsvError> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "r" | "read" => Ok(IoOp::Read),
+        "w" | "write" => Ok(IoOp::Write),
+        other => Err(CsvError::Parse {
+            line,
+            message: format!("unknown op {other:?} (expected R/W/read/write)"),
+        }),
+    }
+}
+
+fn parse_u64(s: &str, what: &str, line: usize) -> Result<u64, CsvError> {
+    s.trim().parse().map_err(|_| CsvError::Parse {
+        line,
+        message: format!("invalid {what}: {s:?}"),
+    })
+}
+
+/// Parses a CSV trace from any reader. Records are sorted by time (as
+/// [`Trace::new`] guarantees); blank lines, `#` comments, and a
+/// `time_ns,...` header are skipped.
+///
+/// # Errors
+///
+/// [`CsvError::Io`] for read failures, [`CsvError::Parse`] (with the
+/// offending line number) for malformed records.
+///
+/// # Example
+///
+/// ```
+/// use triplea_workloads::csv::parse_trace;
+///
+/// let text = "time_ns,op,lpn,pages\n0,R,10,1\n500,W,20,4\n";
+/// let trace = parse_trace(text.as_bytes())?;
+/// assert_eq!(trace.len(), 2);
+/// # Ok::<(), triplea_workloads::csv::CsvError>(())
+/// ```
+pub fn parse_trace<R: Read>(reader: R) -> Result<Trace, CsvError> {
+    let mut out = Vec::new();
+    for (idx, line) in BufReader::new(reader).lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if idx == 0 && line.to_ascii_lowercase().starts_with("time") {
+            continue; // header
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 4 {
+            return Err(CsvError::Parse {
+                line: lineno,
+                message: format!("expected 4 fields, got {}", fields.len()),
+            });
+        }
+        let at = parse_u64(fields[0], "time_ns", lineno)?;
+        let op = parse_op(fields[1], lineno)?;
+        let lpn = parse_u64(fields[2], "lpn", lineno)?;
+        let pages = parse_u64(fields[3], "pages", lineno)?;
+        if pages == 0 || pages > u32::MAX as u64 {
+            return Err(CsvError::Parse {
+                line: lineno,
+                message: format!("pages out of range: {pages}"),
+            });
+        }
+        out.push(TraceRequest {
+            at: SimTime::from_nanos(at),
+            op,
+            lpn: LogicalPage(lpn),
+            pages: pages as u32,
+        });
+    }
+    Ok(Trace::new(out))
+}
+
+/// Writes a trace as CSV (with header), the inverse of [`parse_trace`].
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_trace<W: Write>(mut writer: W, trace: &Trace) -> std::io::Result<()> {
+    writeln!(writer, "time_ns,op,lpn,pages")?;
+    for r in trace.requests() {
+        writeln!(
+            writer,
+            "{},{},{},{}",
+            r.at.as_nanos(),
+            match r.op {
+                IoOp::Read => "R",
+                IoOp::Write => "W",
+            },
+            r.lpn.0,
+            r.pages
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Microbench;
+    use triplea_core::ArrayConfig;
+
+    #[test]
+    fn parses_basic_records() {
+        let text = "0,R,10,1\n500,w,20,4\n1000,READ,30,2\n";
+        let t = parse_trace(text.as_bytes()).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.requests()[0].op, IoOp::Read);
+        assert_eq!(t.requests()[1].op, IoOp::Write);
+        assert_eq!(t.requests()[1].pages, 4);
+    }
+
+    #[test]
+    fn skips_header_comments_and_blank_lines() {
+        let text = "time_ns,op,lpn,pages\n# a comment\n\n0,R,1,1\n";
+        let t = parse_trace(text.as_bytes()).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn sorts_by_time() {
+        let text = "900,R,1,1\n100,R,2,1\n";
+        let t = parse_trace(text.as_bytes()).unwrap();
+        assert_eq!(t.requests()[0].lpn.0, 2);
+    }
+
+    #[test]
+    fn reports_line_numbers_on_errors() {
+        let text = "0,R,1,1\nnot,a,valid\n";
+        match parse_trace(text.as_bytes()) {
+            Err(CsvError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        let text = "0,X,1,1\n";
+        assert!(matches!(
+            parse_trace(text.as_bytes()),
+            Err(CsvError::Parse { line: 1, .. })
+        ));
+        let text = "0,R,1,0\n";
+        assert!(parse_trace(text.as_bytes()).is_err(), "zero pages rejected");
+    }
+
+    #[test]
+    fn roundtrips_generated_traces() {
+        let cfg = ArrayConfig::small_test();
+        let original = Microbench::read().requests(200).build(&cfg, 1);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &original).unwrap();
+        let parsed = parse_trace(buf.as_slice()).unwrap();
+        assert_eq!(parsed.requests(), original.requests());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = CsvError::Parse {
+            line: 7,
+            message: "boom".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+    }
+}

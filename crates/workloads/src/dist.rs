@@ -1,0 +1,232 @@
+//! Sampling distributions for workload synthesis: Zipfian slot
+//! popularity and ON/OFF bursty arrivals.
+
+use triplea_sim::SplitMix64;
+
+/// A Zipf(θ) sampler over `{0, …, n−1}` using Gray & Cody's bounded
+/// rejection method (the standard generator from the TPC benchmarks):
+/// slot 0 is the most popular, with popularity ∝ 1/(rank+1)^θ.
+///
+/// Real storage traces concentrate accesses this way; uniform hot
+/// regions are the `θ = 0` special case.
+///
+/// # Example
+///
+/// ```
+/// use triplea_workloads::Zipfian;
+/// use triplea_sim::SplitMix64;
+///
+/// let z = Zipfian::new(1_000, 0.99);
+/// let mut rng = SplitMix64::new(7);
+/// let s = z.sample(&mut rng);
+/// assert!(s < 1_000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zeta_n: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    // Direct sum for small n; integral approximation for large n keeps
+    // construction O(1)-ish without changing sampled shape noticeably.
+    if n <= 10_000 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    } else {
+        let head: f64 = (1..=10_000u64).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        // ∫_{10000}^{n} x^-θ dx
+        let tail = if (theta - 1.0).abs() < 1e-9 {
+            (n as f64 / 10_000.0).ln()
+        } else {
+            ((n as f64).powf(1.0 - theta) - 10_000f64.powf(1.0 - theta)) / (1.0 - theta)
+        };
+        head + tail
+    }
+}
+
+impl Zipfian {
+    /// Creates a sampler over `n` slots with skew `theta` (0 = uniform;
+    /// 0.99 is the classic YCSB default; larger = more skewed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is negative or ≥ 2.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipfian needs a non-empty domain");
+        assert!((0.0..2.0).contains(&theta), "theta must be in [0, 2)");
+        let zeta_n = zeta(n, theta);
+        let zeta2 = zeta(2.min(n), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = if n == 1 {
+            0.0
+        } else {
+            (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zeta_n)
+        };
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zeta_n,
+            eta,
+            zeta2,
+        }
+    }
+
+    /// Draws one slot; slot 0 is the hottest.
+    pub fn sample(&self, rng: &mut SplitMix64) -> u64 {
+        if self.n == 1 || self.theta == 0.0 {
+            return rng.next_below(self.n);
+        }
+        let u = rng.next_f64();
+        let uz = u * self.zeta_n;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) && self.zeta2 <= self.zeta_n {
+            return 1;
+        }
+        let s = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        s.min(self.n - 1)
+    }
+
+    /// Domain size.
+    pub fn domain(&self) -> u64 {
+        self.n
+    }
+}
+
+/// ON/OFF bursty arrival shaping: requests arrive back-to-back at
+/// `gap_ns` during an ON window, then pause for an OFF window — the
+/// checkpoint-burst pattern of the paper's §1 burst-buffer use case.
+///
+/// # Example
+///
+/// ```
+/// use triplea_workloads::BurstShape;
+///
+/// let b = BurstShape::new(1_000_000, 4_000_000); // 1 ms on, 4 ms off
+/// // The i-th request's arrival time at a 1 µs gap:
+/// let t0 = b.arrival_ns(0, 1_000);
+/// let t1000 = b.arrival_ns(1_000, 1_000);
+/// assert!(t1000 - t0 > 4_000_000, "second burst starts after the pause");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BurstShape {
+    on_ns: u64,
+    off_ns: u64,
+}
+
+impl BurstShape {
+    /// Creates a shape with `on_ns` of back-to-back arrivals followed by
+    /// `off_ns` of silence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `on_ns == 0`.
+    pub fn new(on_ns: u64, off_ns: u64) -> Self {
+        assert!(on_ns > 0, "burst ON window must be positive");
+        BurstShape { on_ns, off_ns }
+    }
+
+    /// Arrival time of the `i`-th request given a within-burst gap.
+    pub fn arrival_ns(&self, i: u64, gap_ns: u64) -> u64 {
+        let per_burst = (self.on_ns / gap_ns.max(1)).max(1);
+        let burst = i / per_burst;
+        let within = i % per_burst;
+        burst * (self.on_ns + self.off_ns) + within * gap_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_theta0_is_uniform() {
+        let z = Zipfian::new(8, 0.0);
+        let mut rng = SplitMix64::new(1);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "not uniform: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_concentrates_on_low_slots() {
+        let z = Zipfian::new(1_000, 0.99);
+        let mut rng = SplitMix64::new(2);
+        let mut head = 0u32;
+        const N: u32 = 50_000;
+        for _ in 0..N {
+            if z.sample(&mut rng) < 100 {
+                head += 1;
+            }
+        }
+        // Zipf(0.99): the top 10% of slots receive well over half the
+        // accesses (uniform would give 10%).
+        assert!(
+            head as f64 / N as f64 > 0.5,
+            "head share {}",
+            head as f64 / N as f64
+        );
+    }
+
+    #[test]
+    fn zipf_samples_stay_in_domain() {
+        for theta in [0.0, 0.5, 0.99, 1.5] {
+            let z = Zipfian::new(37, theta);
+            let mut rng = SplitMix64::new(3);
+            for _ in 0..10_000 {
+                assert!(z.sample(&mut rng) < 37, "theta {theta}");
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_higher_theta_is_more_skewed() {
+        let mut rng = SplitMix64::new(4);
+        let share = |theta: f64, rng: &mut SplitMix64| {
+            let z = Zipfian::new(1_000, theta);
+            let mut zero = 0u32;
+            for _ in 0..50_000 {
+                if z.sample(rng) == 0 {
+                    zero += 1;
+                }
+            }
+            zero
+        };
+        let low = share(0.5, &mut rng);
+        let high = share(1.2, &mut rng);
+        assert!(high > low * 2, "low {low}, high {high}");
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn zipf_rejects_bad_theta() {
+        Zipfian::new(10, 2.5);
+    }
+
+    #[test]
+    fn bursts_pack_then_pause() {
+        let b = BurstShape::new(1_000, 9_000); // 10 reqs per burst at gap 100
+        assert_eq!(b.arrival_ns(0, 100), 0);
+        assert_eq!(b.arrival_ns(9, 100), 900);
+        assert_eq!(b.arrival_ns(10, 100), 10_000, "next burst after pause");
+        assert_eq!(b.arrival_ns(25, 100), 2 * 10_000 + 500);
+    }
+
+    #[test]
+    fn burst_with_huge_gap_still_progresses() {
+        let b = BurstShape::new(1_000, 1_000);
+        // gap larger than the ON window: one request per burst
+        assert_eq!(b.arrival_ns(0, 5_000), 0);
+        assert_eq!(b.arrival_ns(1, 5_000), 2_000);
+    }
+}

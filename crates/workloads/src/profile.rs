@@ -1,0 +1,129 @@
+//! The paper's Table 1, as data.
+
+/// Characteristics of one workload, mirroring the columns of the paper's
+/// Table 1.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WorkloadProfile {
+    /// Trace name as used in the paper.
+    pub name: &'static str,
+    /// Fraction of requests that are reads, in `[0, 1]`.
+    pub read_ratio: f64,
+    /// Fraction of reads that are random (vs sequential), in `[0, 1]`.
+    pub read_randomness: f64,
+    /// Fraction of writes that are random, in `[0, 1]`.
+    pub write_randomness: f64,
+    /// Number of hot clusters the trace induces on the 4×16 baseline.
+    pub hot_clusters: u32,
+    /// Fraction of I/O heading to the hot clusters, in `[0, 1]`.
+    pub hot_io_ratio: f64,
+    /// Whether the hot clusters share one PCI-E switch (websql's layout,
+    /// §6.1) or spread across switches.
+    pub hot_on_same_switch: bool,
+}
+
+impl WorkloadProfile {
+    /// All thirteen profiles of Table 1, in the paper's order.
+    pub fn table1() -> &'static [WorkloadProfile] {
+        &TABLE1
+    }
+
+    /// The eleven enterprise profiles (Table 2 rows).
+    pub fn enterprise() -> &'static [WorkloadProfile] {
+        &TABLE1[..11]
+    }
+
+    /// Looks a profile up by its paper name.
+    pub fn by_name(name: &str) -> Option<WorkloadProfile> {
+        TABLE1.iter().find(|p| p.name == name).copied()
+    }
+
+    /// `true` when the profile induces no hot clusters (cfs, web) — the
+    /// cases where the paper observes no Triple-A gain.
+    pub fn is_uniform(&self) -> bool {
+        self.hot_clusters == 0
+    }
+}
+
+const fn p(
+    name: &'static str,
+    read: f64,
+    rrand: f64,
+    wrand: f64,
+    hot: u32,
+    hot_io: f64,
+    same_switch: bool,
+) -> WorkloadProfile {
+    WorkloadProfile {
+        name,
+        read_ratio: read,
+        read_randomness: rrand,
+        write_randomness: wrand,
+        hot_clusters: hot,
+        hot_io_ratio: hot_io,
+        hot_on_same_switch: same_switch,
+    }
+}
+
+/// Table 1 of the paper, verbatim (ratios as fractions).
+static TABLE1: [WorkloadProfile; 13] = [
+    p("cfs", 0.765, 0.941, 0.738, 0, 0.0, false),
+    p("fin", 0.502, 0.904, 0.991, 5, 0.557, false),
+    p("hm", 0.551, 0.933, 0.992, 5, 0.437, false),
+    p("mds", 0.259, 0.802, 0.948, 4, 0.541, false),
+    p("msnfs", 0.528, 0.909, 0.849, 4, 0.288, false),
+    p("prn", 0.971, 0.948, 0.466, 2, 0.509, false),
+    p("proj", 0.291, 0.807, 0.085, 6, 0.613, false),
+    p("prxy", 0.611, 0.973, 0.594, 3, 0.393, false),
+    p("usr", 0.289, 0.903, 0.969, 5, 0.401, false),
+    p("web", 1.0, 0.95, 0.0, 0, 0.0, false),
+    p("websql", 0.543, 0.739, 0.676, 4, 0.506, true),
+    p("g-eigen", 1.0, 0.171, 0.0, 6, 0.706, false),
+    p("l-eigen", 1.0, 0.171, 0.0, 11, 0.481, false),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_profiles() {
+        assert_eq!(WorkloadProfile::table1().len(), 13);
+        assert_eq!(WorkloadProfile::enterprise().len(), 11);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let g = WorkloadProfile::by_name("g-eigen").unwrap();
+        assert_eq!(g.read_ratio, 1.0);
+        assert_eq!(g.hot_clusters, 6);
+        assert!(WorkloadProfile::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn ratios_are_fractions() {
+        for p in WorkloadProfile::table1() {
+            assert!((0.0..=1.0).contains(&p.read_ratio), "{}", p.name);
+            assert!((0.0..=1.0).contains(&p.read_randomness), "{}", p.name);
+            assert!((0.0..=1.0).contains(&p.write_randomness), "{}", p.name);
+            assert!((0.0..=1.0).contains(&p.hot_io_ratio), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn uniform_profiles_have_no_hot_io() {
+        for p in WorkloadProfile::table1() {
+            if p.is_uniform() {
+                assert_eq!(p.hot_io_ratio, 0.0, "{}", p.name);
+            } else {
+                assert!(p.hot_io_ratio > 0.0, "{}", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn websql_is_the_same_switch_case() {
+        for p in WorkloadProfile::table1() {
+            assert_eq!(p.hot_on_same_switch, p.name == "websql", "{}", p.name);
+        }
+    }
+}

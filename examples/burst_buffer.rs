@@ -1,0 +1,50 @@
+//! Burst-buffer scenario (paper §1: Argonne/Los Alamos use flash to
+//! absorb check-pointing write bursts), demonstrating §6.6's *DRAM
+//! relocation*: the DRAM removed from individual SSDs is aggregated at
+//! the management module, so each cluster's write-back buffer is
+//! DRAM-scale and absorbs bursts that a queue-scale buffer cannot.
+//!
+//! ```text
+//! cargo run --release --example burst_buffer
+//! ```
+
+use triple_a::core::{Array, ArrayConfig, ManagementMode};
+use triple_a::workloads::Microbench;
+
+fn main() {
+    // A checkpoint burst: 40k random 4 KB writes into two clusters at
+    // ~1.3x their sustained program bandwidth.
+    let base_cfg = ArrayConfig::paper_baseline();
+    let trace = Microbench::write()
+        .hot_clusters(2)
+        .requests(40_000)
+        .gap_ns(1_500)
+        .build(&base_cfg, 3);
+    println!("checkpoint burst: {} writes into 2 clusters\n", trace.len());
+
+    for (label, buffer_pages) in [
+        ("queue-scale buffer (64 pages)", 64usize),
+        (
+            "relocated-DRAM buffer (2048 pages, Triple-A default)",
+            2_048,
+        ),
+    ] {
+        let mut cfg = base_cfg;
+        cfg.write_buffer_pages = buffer_pages;
+        println!("== {label} ==");
+        for mode in [ManagementMode::NonAutonomic, ManagementMode::Autonomic] {
+            let report = Array::new(cfg, mode).run(&trace);
+            let auto = report.autonomic_stats();
+            println!(
+                "  {mode:<14} ack mean {:>9.1} us   p99 {:>9.1} us   redirects {}",
+                report.mean_latency_us(),
+                report.latency_percentile_us(0.99),
+                auto.write_redirects
+            );
+        }
+        println!();
+    }
+    println!("The relocated DRAM absorbs the burst (acks stay near-instant) while");
+    println!("programs destage in the background; when the buffer is queue-scale,");
+    println!("stalled writes appear and Triple-A redirects them to adjacent FIMMs.");
+}

@@ -1,0 +1,57 @@
+//! Enterprise OLTP scenario: the `websql` workload, whose four hot
+//! clusters all hang off the *same* PCI-E switch — the paper's §6.1
+//! worst case for Triple-A, because migration never crosses switches and
+//! the pool of cold siblings is small.
+//!
+//! ```text
+//! cargo run --release --example enterprise_oltp
+//! ```
+
+use triple_a::core::{Array, ArrayConfig, ManagementMode};
+use triple_a::workloads::{ProfileTrace, WorkloadProfile};
+
+fn report_line(label: &str, cfg: ArrayConfig, trace: &triple_a::core::Trace) {
+    let base = Array::new(cfg, ManagementMode::NonAutonomic).run(trace);
+    let aaa = Array::new(cfg, ManagementMode::Autonomic).run(trace);
+    println!(
+        "{label:<24} latency {:>8.1} -> {:>8.1} us ({:.2}x)   IOPS {:>9.0} -> {:>9.0} ({:.2}x)",
+        base.mean_latency_us(),
+        aaa.mean_latency_us(),
+        aaa.mean_latency_us() / base.mean_latency_us(),
+        base.iops(),
+        aaa.iops(),
+        aaa.iops() / base.iops()
+    );
+}
+
+fn main() {
+    let cfg = ArrayConfig::paper_baseline();
+    let websql = WorkloadProfile::by_name("websql").expect("known profile");
+    println!(
+        "websql: {:.0}% reads, 4 hot clusters on ONE switch, {:.0}% hot I/O",
+        websql.read_ratio * 100.0,
+        websql.hot_io_ratio * 100.0
+    );
+    println!("(migration targets limited to the 12 same-switch siblings)\n");
+
+    let trace = ProfileTrace::new(websql)
+        .requests(100_000)
+        .gap_ns(210)
+        .hot_region_pages(1_024)
+        .build(&cfg, 11);
+    report_line("websql (same switch)", cfg, &trace);
+
+    // Contrast with prn: two hot clusters on different switches.
+    let prn = WorkloadProfile::by_name("prn").expect("known profile");
+    let trace = ProfileTrace::new(prn)
+        .requests(100_000)
+        .gap_ns(425)
+        .hot_region_pages(1_024)
+        .build(&cfg, 11);
+    report_line("prn (spread)", cfg, &trace);
+
+    println!(
+        "\nThe paper observes the same asymmetry (§6.1/§6.3): websql's gains are\n\
+         capped by the per-switch imbalance, while spread workloads benefit fully."
+    );
+}

@@ -1,0 +1,47 @@
+//! # Triple-A: a non-SSD based autonomic all-flash array
+//!
+//! Facade crate for the reproduction of *"Triple-A: A Non-SSD Based
+//! Autonomic All-Flash Array for High Performance Storage Systems"*
+//! (Jung, Choi, Shalf, Kandemir — ASPLOS 2014).
+//!
+//! Re-exports the workspace crates under stable module names:
+//!
+//! * [`sim`] — discrete-event simulation kernel.
+//! * [`flash`] — bare NAND flash package model (dies, planes, commands,
+//!   timing, wear).
+//! * [`fimm`] — Flash Inline Memory Module: 8 packages on a shared
+//!   NV-DDR2 channel.
+//! * [`pcie`] — PCI-Express fabric: root complex, switches, endpoints,
+//!   links, flow control.
+//! * [`ftl`] — host-side flash software: HAL, address mapping, garbage
+//!   collection, wear-levelling.
+//! * [`core`] — the flash array itself plus the autonomic management
+//!   module (hot-cluster detection, data migration with shadow cloning,
+//!   laggard detection, data-layout reshaping).
+//! * [`workloads`] — Table-1 workload profiles, synthetic trace
+//!   generators and micro-benchmarks.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use triple_a::core::{Array, ArrayConfig, ManagementMode};
+//! use triple_a::workloads::Microbench;
+//!
+//! // A small 2x4 array (2 switches, 4 clusters each).
+//! let cfg = ArrayConfig::small_test();
+//! let trace = Microbench::read()
+//!     .hot_clusters(2)
+//!     .requests(2_000)
+//!     .build(&cfg, 42);
+//! let report = Array::new(cfg, ManagementMode::Autonomic).run(&trace);
+//! assert_eq!(report.completed(), 2_000);
+//! println!("mean latency: {:.1}us", report.mean_latency_us());
+//! ```
+
+pub use triplea_core as core;
+pub use triplea_fimm as fimm;
+pub use triplea_flash as flash;
+pub use triplea_ftl as ftl;
+pub use triplea_pcie as pcie;
+pub use triplea_sim as sim;
+pub use triplea_workloads as workloads;

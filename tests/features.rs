@@ -1,0 +1,114 @@
+//! Integration tests for the extension features: CSV trace interchange,
+//! Zipfian/bursty workloads, the mapping cache, GC policies, and flash
+//! generations — all exercised through the public facade.
+
+use triple_a::core::{Array, ArrayConfig, ManagementMode};
+use triple_a::flash::FlashTiming;
+use triple_a::ftl::GcPolicy;
+use triple_a::workloads::{csv, Microbench};
+
+fn small() -> ArrayConfig {
+    ArrayConfig::small_test()
+}
+
+#[test]
+fn csv_roundtrip_preserves_simulation_results() {
+    let cfg = small();
+    let original = Microbench::read()
+        .hot_clusters(1)
+        .requests(3_000)
+        .gap_ns(1_400)
+        .build(&cfg, 21);
+    let mut buf = Vec::new();
+    csv::write_trace(&mut buf, &original).unwrap();
+    let parsed = csv::parse_trace(buf.as_slice()).unwrap();
+
+    let a = Array::new(cfg, ManagementMode::Autonomic).run(&original);
+    let b = Array::new(cfg, ManagementMode::Autonomic).run(&parsed);
+    assert_eq!(a.events_processed(), b.events_processed());
+    assert_eq!(a.mean_latency_us(), b.mean_latency_us());
+}
+
+#[test]
+fn zipf_skew_concentrates_and_still_completes() {
+    let cfg = small();
+    let trace = Microbench::read()
+        .hot_clusters(2)
+        .zipf(0.99)
+        .requests(8_000)
+        .gap_ns(1_400)
+        .build(&cfg, 22);
+    let report = Array::new(cfg, ManagementMode::Autonomic).run(&trace);
+    assert_eq!(report.completed(), 8_000);
+    // The autonomic layer should still relieve the (zipf-shaped) hot load.
+    assert!(report.autonomic_stats().migrations_started > 0);
+}
+
+#[test]
+fn bursty_arrivals_run_and_idle_gaps_show_up() {
+    let cfg = small();
+    let trace = Microbench::write()
+        .hot_clusters(1)
+        .bursty(500_000, 2_000_000)
+        .gap_ns(2_000)
+        .requests(2_000)
+        .build(&cfg, 23);
+    let report = Array::new(cfg, ManagementMode::NonAutonomic).run(&trace);
+    assert_eq!(report.completed(), 2_000);
+    // Eight-ish bursts of 250 requests: the makespan must include the
+    // OFF windows.
+    assert!(report.makespan().as_ms_f64() > 10.0);
+}
+
+#[test]
+fn gc_policies_all_survive_sustained_overwrites() {
+    for policy in [GcPolicy::Greedy, GcPolicy::CostBenefit, GcPolicy::Fifo] {
+        let mut cfg = small();
+        cfg.shape.flash.blocks_per_plane = 8;
+        cfg.gc_threshold_blocks = 8;
+        cfg.gc_policy = policy;
+        let trace = Microbench::write()
+            .hot_clusters(1)
+            .region_pages(64)
+            .requests(20_000)
+            .gap_ns(2_000)
+            .build(&cfg, 24);
+        let report = Array::new(cfg, ManagementMode::NonAutonomic).run(&trace);
+        assert_eq!(report.completed(), 20_000, "{policy:?}");
+        assert!(report.ftl_stats().gc_erases > 0, "{policy:?} never cleaned");
+    }
+}
+
+#[test]
+fn mlc_and_slc_generations_both_run_autonomic() {
+    for timing in [FlashTiming::default(), FlashTiming::mlc()] {
+        let mut cfg = small();
+        cfg.flash_timing = timing;
+        let trace = Microbench::read()
+            .hot_clusters(1)
+            .requests(5_000)
+            .gap_ns(1_600)
+            .build(&cfg, 25);
+        let report = Array::new(cfg, ManagementMode::Autonomic).run(&trace);
+        assert_eq!(report.completed(), 5_000);
+    }
+}
+
+#[test]
+fn mapping_cache_hit_rate_reported_through_ftl() {
+    let mut cfg = small();
+    cfg.mapping_cache_pages = 64;
+    let trace = Microbench::read()
+        .hot_clusters(1)
+        .region_pages(256)
+        .requests(4_000)
+        .gap_ns(2_000)
+        .build(&cfg, 26);
+    let report = Array::new(cfg, ManagementMode::NonAutonomic).run(&trace);
+    assert_eq!(report.completed(), 4_000);
+    // A 256-page hot region spans a single translation page: after the
+    // cold miss, essentially everything hits, so the run is barely
+    // slower than the free-map baseline.
+    let free_map = Array::new(small(), ManagementMode::NonAutonomic).run(&trace);
+    assert!(report.mean_latency_us() < free_map.mean_latency_us() * 1.25);
+}

@@ -1,0 +1,105 @@
+//! Property-based tests over the whole simulator: random (valid) traces
+//! must complete, conserve requests, and keep latency accounting sane in
+//! both management modes.
+
+use proptest::prelude::*;
+
+use triple_a::core::{Array, ArrayConfig, IoOp, ManagementMode, Trace, TraceRequest};
+use triple_a::ftl::LogicalPage;
+use triple_a::sim::SimTime;
+
+fn small() -> ArrayConfig {
+    ArrayConfig::small_test()
+}
+
+prop_compose! {
+    /// A random, structurally valid request: size-aligned power-of-two
+    /// page count within the address space.
+    fn arb_request(total_pages: u64)
+        (at_us in 0u64..3_000,
+         pages_log in 0u32..3,
+         slot in 0u64..1_000,
+         is_read in prop::bool::weighted(0.6))
+        -> TraceRequest
+    {
+        let pages = 1u32 << pages_log;
+        let lpn = (slot * pages as u64) % (total_pages - pages as u64);
+        let lpn = lpn - lpn % pages as u64;
+        TraceRequest {
+            at: SimTime::from_us(at_us),
+            op: if is_read { IoOp::Read } else { IoOp::Write },
+            lpn: LogicalPage(lpn),
+            pages,
+        }
+    }
+}
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    let total = small().shape.total_pages();
+    prop::collection::vec(arb_request(total), 1..300).prop_map(Trace::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn every_request_completes_in_both_modes(trace in arb_trace()) {
+        for mode in [ManagementMode::NonAutonomic, ManagementMode::Autonomic] {
+            let report = Array::new(small(), mode).run(&trace);
+            prop_assert_eq!(report.completed(), trace.len() as u64);
+            prop_assert_eq!(report.reads() + report.writes(), trace.len() as u64);
+        }
+    }
+
+    #[test]
+    fn latency_accounting_is_bounded(trace in arb_trace()) {
+        let report = Array::new(small(), ManagementMode::Autonomic).run(&trace);
+        // Per-request buckets are *sums over parallel parts*, so they
+        // may exceed wall time — but never by more than the maximum
+        // request parallelism (4 pages => 4 concurrent parts).
+        let waits = report.avg_queue_stall_us()
+            + report.avg_direct_link_wait_us()
+            + report.avg_direct_storage_wait_us();
+        prop_assert!(waits <= report.mean_latency_us() * 4.1 + 1.0,
+            "waits {} > 4x mean {}", waits, report.mean_latency_us());
+        prop_assert!(report.mean_latency_us() > 0.0);
+        // Attributed contention never exceeds direct + queue stall.
+        prop_assert!(report.avg_link_contention_us() + report.avg_storage_contention_us()
+            <= report.avg_queue_stall_us()
+             + report.avg_direct_link_wait_us()
+             + report.avg_direct_storage_wait_us() + 1.0);
+    }
+
+    #[test]
+    fn relocation_pages_conserved(trace in arb_trace()) {
+        let report = Array::new(small(), ManagementMode::Autonomic).run(&trace);
+        let stats = report.autonomic_stats();
+        prop_assert_eq!(
+            stats.pages_migrated + stats.pages_reshaped,
+            report.ftl_stats().migration_writes
+        );
+        prop_assert_eq!(stats.migrations_started, stats.migrations_completed);
+    }
+
+    #[test]
+    fn non_autonomic_never_relocates(trace in arb_trace()) {
+        let report = Array::new(small(), ManagementMode::NonAutonomic).run(&trace);
+        prop_assert_eq!(report.ftl_stats().migration_writes, 0);
+        prop_assert_eq!(report.autonomic_stats().hot_detections, 0);
+    }
+
+    #[test]
+    fn host_write_count_matches_trace(trace in arb_trace()) {
+        let report = Array::new(small(), ManagementMode::NonAutonomic).run(&trace);
+        let pages_written: u64 = trace
+            .requests()
+            .iter()
+            .filter(|r| r.op == IoOp::Write)
+            .map(|r| r.pages as u64)
+            .sum();
+        prop_assert_eq!(report.ftl_stats().host_writes, pages_written);
+    }
+}

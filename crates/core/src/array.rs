@@ -8,7 +8,8 @@
 //! background (data migration with shadow cloning, intra-cluster
 //! reshaping, write redirection).
 
-use triplea_flash::{FlashCommand, OpKind, WearReport};
+use triplea_fimm::FimmFaultKind;
+use triplea_flash::{FlashCommand, FlashError, OpKind, OpTiming, WearReport};
 use triplea_ftl::{hal, Ftl, FtlError, LogicalPage};
 use triplea_pcie::{Admission, ClusterId, RootComplex, Switch};
 use triplea_sim::stats::{Histogram, Series};
@@ -17,11 +18,20 @@ use triplea_sim::{EventQueue, Nanos, SimTime};
 use crate::autonomic::AutonomicState;
 use crate::cluster::ClusterState;
 use crate::config::{ArrayConfig, ManagementMode};
-use crate::metrics::RunReport;
+use crate::metrics::{FaultStats, RunReport};
 use crate::request::{Breakdown, IoOp, RequestState, Stage, Trace};
 
 /// TLP framing overhead per 4 KB payload segment.
 const TLP_OVERHEAD: u64 = 24;
+
+/// Transient-read retries before falling back to a fault-immune recovery
+/// read. Every failed attempt burns the die slot it reserved, so each
+/// retry queues behind the last — the accumulated ECC re-read penalty.
+const READ_RETRY_LIMIT: u32 = 8;
+
+/// Redirection attempts for a write whose program hard-fails before the
+/// page is dropped as unwritable.
+const WRITE_REDIRECT_LIMIT: u32 = 4;
 
 #[derive(Clone, Debug)]
 enum Ev {
@@ -112,6 +122,9 @@ struct Engine {
     events: u64,
     foreign_pages: u64,
     dropped_writes: u64,
+    /// Engine-side degraded-mode counters; package/link-level fault
+    /// counts are folded in by [`Engine::into_report`].
+    faults: FaultStats,
 }
 
 /// The Triple-A all-flash array (or its non-autonomic baseline).
@@ -151,12 +164,21 @@ impl std::fmt::Debug for Array {
 
 impl Array {
     /// Builds an idle array from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a configured [`FimmFaultEvent`](crate::FimmFaultEvent)
+    /// addresses a cluster or FIMM outside the array.
     pub fn new(cfg: ArrayConfig, mode: ManagementMode) -> Self {
         let topo = cfg.shape.topology;
-        let clusters = topo
+        let mut clusters: Vec<ClusterState> = topo
             .iter_clusters()
             .map(|id| ClusterState::new(&cfg, id))
             .collect();
+        let mut switches: Vec<Switch> = (0..topo.switches)
+            .map(|_| Switch::new(&cfg.pcie, topo.clusters_per_switch))
+            .collect();
+        Self::arm_faults(&cfg, &mut clusters, &mut switches);
         let mut ftl = if cfg.mapping_cache_pages > 0 {
             Ftl::with_mapping_cache(cfg.shape, cfg.mapping_cache_pages)
         } else {
@@ -167,9 +189,7 @@ impl Array {
             e: Engine {
                 ftl,
                 rc: RootComplex::new(&cfg.pcie),
-                switches: (0..topo.switches)
-                    .map(|_| Switch::new(&cfg.pcie, topo.clusters_per_switch))
-                    .collect(),
+                switches,
                 clusters,
                 auto: AutonomicState::new(cfg.autonomic, cfg.seed),
                 reqs: Vec::new(),
@@ -191,9 +211,50 @@ impl Array {
                 events: 0,
                 foreign_pages: 0,
                 dropped_writes: 0,
+                faults: FaultStats::default(),
                 mode,
                 cfg,
             },
+        }
+    }
+
+    /// Applies the configured fault plan to freshly built hardware. A
+    /// quiet plan arms nothing, so fault-free runs stay bit-identical to
+    /// builds that predate fault injection.
+    fn arm_faults(cfg: &ArrayConfig, clusters: &mut [ClusterState], switches: &mut [Switch]) {
+        const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+        let fc = &cfg.faults;
+        if !fc.flash.is_quiet() {
+            for (ci, cl) in clusters.iter_mut().enumerate() {
+                for (fi, fimm) in cl.fimms.iter_mut().enumerate() {
+                    // Distinct RNG stream per FIMM (and, inside, per
+                    // package), all derived from the one master seed.
+                    let k = ((ci as u64) << 8) | fi as u64;
+                    fimm.set_fault_profile(fc.flash, fc.seed ^ (k + 1).wrapping_mul(GOLDEN));
+                }
+            }
+        }
+        if !fc.pcie.is_quiet() {
+            let mut k = 0u64;
+            for sw in switches.iter_mut() {
+                for link in std::iter::once(&mut sw.uplink).chain(sw.downlinks.iter_mut()) {
+                    link.down
+                        .set_faults(fc.pcie, fc.seed ^ (2 * k + 1).wrapping_mul(GOLDEN));
+                    link.up
+                        .set_faults(fc.pcie, fc.seed ^ (2 * k + 2).wrapping_mul(GOLDEN));
+                    k += 1;
+                }
+            }
+        }
+        for ev in fc.fimm_events.iter().flatten() {
+            let cl = clusters
+                .get_mut(ev.cluster as usize)
+                .expect("fault-event cluster index in range");
+            let fimm = cl
+                .fimms
+                .get_mut(ev.fimm as usize)
+                .expect("fault-event FIMM index in range");
+            fimm.schedule_fault(SimTime::from_nanos(ev.at_ns), ev.kind);
         }
     }
 
@@ -213,7 +274,20 @@ impl Array {
     ///
     /// Panics if a trace record has `pages == 0` or addresses a page
     /// outside the array.
-    pub fn run(mut self, trace: &Trace) -> RunReport {
+    pub fn run(self, trace: &Trace) -> RunReport {
+        self.run_verified(trace).0
+    }
+
+    /// Like [`Array::run`], but additionally performs an end-to-end FTL
+    /// metadata integrity check after the run: every relocated page must
+    /// map to exactly one live physical page and vice versa, proving that
+    /// no page was lost or duplicated — even when faults aborted
+    /// migrations mid-copy.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Array::run`].
+    pub fn run_verified(mut self, trace: &Trace) -> (RunReport, Result<(), String>) {
         let total_pages = self.e.cfg.shape.total_pages();
         for (i, r) in trace.requests().iter().enumerate() {
             assert!(r.pages >= 1, "request {i} has zero pages");
@@ -232,7 +306,8 @@ impl Array {
             self.e.events += 1;
             self.e.handle(now, ev);
         }
-        self.e.into_report()
+        let integrity = self.e.ftl.verify_integrity();
+        (self.e.into_report(), integrity)
     }
 }
 
@@ -338,14 +413,60 @@ impl Engine {
             let c = cluster as usize;
             let pb = self.page_bytes();
             let xfer = self.clusters[c].bus.transfer(now, pb);
-            let rd = self.clusters[c].fimms[loc.fimm as usize]
-                .begin_op(now, loc.addr.package, &FlashCommand::read(loc.addr.page))
-                .expect("translation-page read is valid");
-            t = t.max(xfer.end).max(rd.end);
-            let rs = &mut self.reqs[r as usize];
-            rs.bd.fimm_service += rd.end - rd.start;
+            if let Some((_, rd)) = self.issue_read_op(
+                c,
+                loc.fimm,
+                now,
+                loc.addr.package,
+                &FlashCommand::read(loc.addr.page),
+            ) {
+                t = t.max(rd.end);
+                let rs = &mut self.reqs[r as usize];
+                rs.bd.fimm_service += rd.end - rd.start;
+            }
+            t = t.max(xfer.end);
         }
         self.queue.push(t, Ev::SwAdmit(r));
+    }
+
+    /// Issues one read command, preferring `fimm` but failing over to a
+    /// live sibling when that module is dead, and retrying transient ECC
+    /// faults (the last attempt is a fault-immune recovery read, so the
+    /// loop terminates). Returns the serving FIMM and timing, or `None`
+    /// when every module in the cluster is dead.
+    fn issue_read_op(
+        &mut self,
+        c: usize,
+        fimm: u32,
+        at: SimTime,
+        package: u32,
+        cmd: &FlashCommand,
+    ) -> Option<(u32, OpTiming)> {
+        let n = self.clusters[c].fimms.len() as u32;
+        for off in 0..n {
+            let f = ((fimm + off) % n) as usize;
+            if self.clusters[c].fimms[f].is_dead_at(at) {
+                continue;
+            }
+            if off > 0 {
+                self.faults.degraded_reads += 1;
+            }
+            let mut tries = 0;
+            loop {
+                let r = if tries < READ_RETRY_LIMIT {
+                    self.clusters[c].fimms[f].begin_op(at, package, cmd)
+                } else {
+                    self.clusters[c].fimms[f].begin_op_recovery(at, package, cmd)
+                };
+                match r {
+                    Ok(op) => return Some((f as u32, op)),
+                    Err(e) if e.is_transient() => tries += 1,
+                    Err(_) => break, // module failed under us: next sibling
+                }
+            }
+        }
+        self.faults.unserviceable_reads += 1;
+        None
     }
 
     fn on_sw_admit(&mut self, now: SimTime, r: u32) {
@@ -564,9 +685,32 @@ impl Engine {
             for cc in hal::compose(OpKind::Read, &addrs) {
                 let n = cc.cmd.page_count() as u32;
                 let cmd_res = self.clusters[c].bus.command_cycle(now);
-                let op = self.clusters[c].fimms[fimm]
-                    .begin_op(cmd_res.end, cc.package, &cc.cmd)
-                    .expect("composed read command is valid");
+                let Some((sf, op)) =
+                    self.issue_read_op(c, fimm as u32, cmd_res.end, cc.package, &cc.cmd)
+                else {
+                    // Every module in the cluster is dead: the data is
+                    // unreachable. Complete the part with no flash time
+                    // so the request still terminates (and is counted as
+                    // unserviceable by issue_read_op).
+                    self.clusters[c].pending_read_pages[fimm] += n as u64;
+                    {
+                        let rs = &mut self.reqs[r as usize];
+                        rs.bd.bus_wait += cmd_res.wait;
+                        rs.pending_parts += 1;
+                    }
+                    self.queue.push(
+                        cmd_res.end,
+                        Ev::PartFlashDone {
+                            req: r,
+                            fimm: fimm as u32,
+                            pages: n,
+                        },
+                    );
+                    continue;
+                };
+                // A dead home module fails over to a live sibling; from
+                // here on, account everything against the serving FIMM.
+                let fimm = sf as usize;
                 self.clusters[c].pending_read_pages[fimm] += n as u64;
                 {
                     let rs = &mut self.reqs[r as usize];
@@ -737,7 +881,7 @@ impl Engine {
             remaining: n,
         });
         self.auto.stats.pages_reshaped += n as u64;
-        let target = self.clusters[c].least_loaded_fimm(Some(laggard));
+        let target = self.clusters[c].least_loaded_fimm(now, Some(laggard));
         for idx in 0..n {
             self.program_relocated_page(now, reloc_id, idx, cluster, cluster_id, target);
         }
@@ -775,26 +919,41 @@ impl Engine {
         };
         self.relocs[reloc as usize].pages[idx as usize].new = Some(loc);
         let c = cluster as usize;
-        self.clusters[c].relocs_in += 1;
         let pb = self.page_bytes();
         let res = self.clusters[c].bus.transfer(now, pb);
-        let op = self.clusters[c].fimms[fimm as usize]
-            .begin_op(
-                res.end,
-                loc.addr.package,
-                &FlashCommand::program(loc.addr.page),
-            )
-            .expect("fresh page programs in order");
-        self.clusters[c].pending_prog_pages[fimm as usize] += 1;
-        self.queue.push(
-            op.end,
-            Ev::MigPageDone {
-                reloc,
-                idx,
-                cluster,
-                fimm,
-            },
-        );
+        match self.clusters[c].fimms[fimm as usize].begin_op(
+            res.end,
+            loc.addr.package,
+            &FlashCommand::program(loc.addr.page),
+        ) {
+            Ok(op) => {
+                self.clusters[c].relocs_in += 1;
+                self.clusters[c].pending_prog_pages[fimm as usize] += 1;
+                self.queue.push(
+                    op.end,
+                    Ev::MigPageDone {
+                        reloc,
+                        idx,
+                        cluster,
+                        fimm,
+                    },
+                );
+            }
+            Err(e) => {
+                // The clone's program failed mid-copy (bad block or dead
+                // module): roll the migration of this page back. The
+                // original mapping was never touched — clone-then-unlink
+                // commits only on program completion — so readers lose
+                // nothing; just discard the clone and close accounting.
+                if matches!(e, FlashError::ProgramFailed(_)) {
+                    self.ftl.quarantine_block(loc);
+                }
+                self.ftl.migrate_abort(LogicalPage(lpn), loc);
+                self.relocs[reloc as usize].pages[idx as usize].new = None;
+                self.faults.migration_rollbacks += 1;
+                self.finish_reloc_page(reloc, idx as usize);
+            }
+        }
     }
 
     fn finish_reloc_page(&mut self, reloc: u32, idx: usize) {
@@ -865,15 +1024,20 @@ impl Engine {
                 continue;
             }
             let loc = self.ftl.locate(LogicalPage(l));
-            let fimm = loc.fimm as usize;
             // Reserve the bus and the die at issue time: busy totals are
             // exact and foreground traffic interleaves FIFO, instead of
             // stalling behind idle-but-reserved busy-until gaps.
             let xfer = self.clusters[c].bus.transfer(now, pb);
-            let op = self.clusters[c].fimms[fimm]
-                .begin_op(now, loc.addr.package, &FlashCommand::read(loc.addr.page))
-                .expect("migration re-read is valid");
-            t_ready = t_ready.max(xfer.end).max(op.end);
+            if let Some((_, op)) = self.issue_read_op(
+                c,
+                loc.fimm,
+                now,
+                loc.addr.package,
+                &FlashCommand::read(loc.addr.page),
+            ) {
+                t_ready = t_ready.max(op.end);
+            }
+            t_ready = t_ready.max(xfer.end);
         }
 
         let reloc_pages: Vec<RelocPage> = claimed
@@ -920,7 +1084,7 @@ impl Engine {
         let dst_id = self.clusters[dst_global as usize].id;
         let n = self.relocs[m as usize].pages.len() as u32;
         for idx in 0..n {
-            let fimm = self.clusters[dst_global as usize].least_loaded_fimm(None);
+            let fimm = self.clusters[dst_global as usize].least_loaded_fimm(now, None);
             self.program_relocated_page(now, m, idx, dst_global, dst_id, fimm);
         }
     }
@@ -952,45 +1116,66 @@ impl Engine {
         let redirect = self.mode == ManagementMode::Autonomic && stalled;
         for i in 0..pages as u64 {
             let l = LogicalPage(lpn.0 + i);
-            let target = if redirect {
+            let mut target = if redirect {
                 // §4.2: stalled writes are redirected to adjacent FIMMs
                 // within the same cluster.
-                let f = self.clusters[c].least_loaded_fimm(None);
+                let f = self.clusters[c].least_loaded_fimm(now, None);
                 self.auto.stats.write_redirects += 1;
                 Some((cluster_id, f))
             } else {
                 None
             };
-            let loc = match self.ftl.write_alloc(l, target) {
-                Ok(loc) => loc,
-                Err(FtlError::OutOfSpace { cluster: cid, fimm }) => {
-                    let g = self.cluster_global(cid);
-                    self.run_gc(now, g, fimm);
-                    match self.ftl.write_alloc(l, target) {
-                        Ok(loc) => loc,
-                        Err(_) => {
+            let mut attempts = 0;
+            let programmed = loop {
+                let loc = match self.ftl.write_alloc(l, target) {
+                    Ok(loc) => loc,
+                    Err(FtlError::OutOfSpace { cluster: cid, fimm }) => {
+                        let g = self.cluster_global(cid);
+                        self.run_gc(now, g, fimm);
+                        match self.ftl.write_alloc(l, target) {
+                            Ok(loc) => loc,
                             // End of life: GC reclaimed nothing (every
-                            // block retired or still live). A real array
-                            // fails the write; we count it and release
-                            // the buffered page.
-                            self.dropped_writes += 1;
-                            self.clusters[c].wbuf_used -= 1;
-                            continue;
+                            // block retired or still live).
+                            Err(_) => break None,
                         }
                     }
-                }
-                Err(e) => panic!("write allocation failed: {e}"),
-            };
-            let tc = self.cluster_global(loc.cluster) as usize;
-            let pb = self.page_bytes();
-            let res = self.clusters[tc].bus.transfer(now, pb);
-            let op = self.clusters[tc].fimms[loc.fimm as usize]
-                .begin_op(
+                    Err(e) => panic!("write allocation failed: {e}"),
+                };
+                let tc = self.cluster_global(loc.cluster) as usize;
+                let pb = self.page_bytes();
+                let res = self.clusters[tc].bus.transfer(now, pb);
+                match self.clusters[tc].fimms[loc.fimm as usize].begin_op(
                     res.end,
                     loc.addr.package,
                     &FlashCommand::program(loc.addr.page),
-                )
-                .expect("fresh page programs in order");
+                ) {
+                    Ok(op) => break Some((loc, tc, op)),
+                    Err(e) => {
+                        // Hard program failure or dead module: quarantine
+                        // the grown bad block and redirect the page to a
+                        // live sibling FIMM (retrying write_alloc remaps
+                        // and invalidates the failed page, so metadata
+                        // stays consistent).
+                        if matches!(e, FlashError::ProgramFailed(_)) {
+                            self.ftl.quarantine_block(loc);
+                        }
+                        self.faults.fault_write_redirects += 1;
+                        attempts += 1;
+                        if attempts > WRITE_REDIRECT_LIMIT {
+                            break None;
+                        }
+                        let f = self.clusters[tc].least_loaded_fimm(now, Some(loc.fimm));
+                        target = Some((loc.cluster, f));
+                    }
+                }
+            };
+            let Some((loc, tc, op)) = programmed else {
+                // A real array fails the write; we count it and release
+                // the buffered page.
+                self.dropped_writes += 1;
+                self.clusters[c].wbuf_used -= 1;
+                continue;
+            };
             self.clusters[tc].pending_prog_pages[loc.fimm as usize] += 1;
             self.queue.push(
                 op.end,
@@ -1055,6 +1240,9 @@ impl Engine {
     /// array-level GC scheduling to future work, §6.7).
     fn run_gc(&mut self, now: SimTime, cluster: u32, fimm: u32) {
         let id = self.clusters[cluster as usize].id;
+        if self.clusters[cluster as usize].fimms[fimm as usize].is_dead_at(now) {
+            return; // a dead module can neither be read nor erased
+        }
         let Some(work) = self.ftl.gc_pick(id, fimm) else {
             return;
         };
@@ -1070,18 +1258,29 @@ impl Engine {
                     // program its new home. All reservations are made at
                     // issue time (FIFO per resource) — the die queues
                     // naturally serialise the read before the erase below.
-                    let rd = self.clusters[c].fimms[f]
-                        .begin_op(now, old.addr.package, &FlashCommand::read(old.addr.page))
-                        .expect("gc read is valid");
+                    let rd_end = match self.issue_read_op(
+                        c,
+                        f as u32,
+                        now,
+                        old.addr.package,
+                        &FlashCommand::read(old.addr.page),
+                    ) {
+                        Some((_, rd)) => rd.end,
+                        None => now,
+                    };
                     let _xfer = self.clusters[c].bus.transfer(now, 2 * pb);
-                    let pr = self.clusters[c].fimms[new_loc.fimm as usize]
-                        .begin_op(
-                            rd.end,
-                            new_loc.addr.package,
-                            &FlashCommand::program(new_loc.addr.page),
-                        )
-                        .expect("gc program is in order");
-                    let _ = pr;
+                    if let Err(e) = self.clusters[c].fimms[new_loc.fimm as usize].begin_op(
+                        rd_end,
+                        new_loc.addr.package,
+                        &FlashCommand::program(new_loc.addr.page),
+                    ) {
+                        // The rewrite's target block went bad mid-GC:
+                        // retire it so the allocator stops handing out
+                        // its remaining pages.
+                        if matches!(e, FlashError::ProgramFailed(_)) {
+                            self.ftl.quarantine_block(new_loc);
+                        }
+                    }
                 }
                 Ok(None) => {}
                 Err(_) => break,
@@ -1093,9 +1292,19 @@ impl Engine {
             block: work.block,
             page: 0,
         };
-        let _ =
-            self.clusters[c].fimms[f].begin_op(now, work.package, &FlashCommand::erase(erase_addr));
-        self.ftl.gc_finish(&work);
+        match self.clusters[c].fimms[f].begin_op(now, work.package, &FlashCommand::erase(erase_addr))
+        {
+            Err(FlashError::EraseFailed(_)) => {
+                // Injected erase hard-failure: the victim is a grown bad
+                // block. Quarantine it instead of recycling so it never
+                // returns to the free pool.
+                self.faults.gc_failed_erases += 1;
+                self.ftl.gc_finish_failed(&work);
+            }
+            // A natural worn-out refusal keeps the seed semantics: the
+            // allocator retires the block itself on recycle.
+            _ => self.ftl.gc_finish(&work),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1188,11 +1397,29 @@ impl Engine {
         }
     }
 
-    fn into_report(self) -> RunReport {
+    fn into_report(mut self) -> RunReport {
         let mut wear = WearReport::default();
         for c in &self.clusters {
             for f in &c.fimms {
                 wear.merge(&f.wear_report());
+                let pf = f.fault_stats();
+                self.faults.transient_read_faults += pf.read_transients;
+                self.faults.prog_failures += pf.prog_failures;
+                self.faults.erase_failures += pf.erase_failures;
+                self.faults.blocks_retired_by_fault += pf.blocks_force_retired;
+                if let Some((at, kind)) = f.scheduled_fault() {
+                    if at <= self.last_complete {
+                        match kind {
+                            FimmFaultKind::Dead => self.faults.fimm_deaths += 1,
+                            FimmFaultKind::Slowdown(_) => self.faults.fimm_slowdowns += 1,
+                        }
+                    }
+                }
+            }
+        }
+        for sw in &self.switches {
+            for link in std::iter::once(&sw.uplink).chain(sw.downlinks.iter()) {
+                self.faults.tlp_replays += link.down.replays() + link.up.replays();
             }
         }
         RunReport {
@@ -1219,6 +1446,7 @@ impl Engine {
             autonomic: self.auto.stats,
             ftl: self.ftl.stats(),
             wear,
+            faults: self.faults,
             events: self.events,
         }
     }

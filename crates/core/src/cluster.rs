@@ -5,6 +5,7 @@ use std::collections::VecDeque;
 
 use triplea_fimm::{Fimm, OnfiBus};
 use triplea_pcie::{ClusterId, Endpoint};
+use triplea_sim::SimTime;
 
 use crate::config::ArrayConfig;
 
@@ -89,16 +90,17 @@ impl ClusterState {
     }
 
     /// The FIMM with the smallest outstanding backlog, excluding
-    /// `exclude` — the destination for reshaped pages and redirected
-    /// writes (paper §4.2: "adjacent FIMMs within the same cluster").
-    pub fn least_loaded_fimm(&mut self, exclude: Option<u32>) -> u32 {
+    /// `exclude` and any module that is dead at `now` — the destination
+    /// for reshaped pages and redirected writes (paper §4.2: "adjacent
+    /// FIMMs within the same cluster").
+    pub fn least_loaded_fimm(&mut self, now: SimTime, exclude: Option<u32>) -> u32 {
         let n = self.fimms.len() as u32;
         let start = self.spread_rr;
         self.spread_rr = (self.spread_rr + 1) % n;
         let mut best = None;
         for off in 0..n {
             let f = (start + off) % n;
-            if Some(f) == exclude {
+            if Some(f) == exclude || self.fimms[f as usize].is_dead_at(now) {
                 continue;
             }
             let load = self.fimm_backlog_pages(f);
@@ -135,7 +137,7 @@ mod tests {
         c.pending_read_pages[0] = 10;
         c.pending_prog_pages[1] = 1;
         // fimm 1 has load 1, fimm 0 has 10
-        let picked = c.least_loaded_fimm(None);
+        let picked = c.least_loaded_fimm(SimTime::ZERO, None);
         assert_eq!(picked, 1);
     }
 
@@ -144,7 +146,7 @@ mod tests {
         let mut c = cluster();
         c.pending_read_pages[1] = 100;
         for _ in 0..8 {
-            let f = c.least_loaded_fimm(Some(0));
+            let f = c.least_loaded_fimm(SimTime::ZERO, Some(0));
             assert_ne!(f, 0, "excluded FIMM must not be picked");
         }
     }
@@ -152,9 +154,27 @@ mod tests {
     #[test]
     fn round_robin_breaks_ties() {
         let mut c = cluster();
-        let a = c.least_loaded_fimm(None);
-        let b = c.least_loaded_fimm(None);
+        let a = c.least_loaded_fimm(SimTime::ZERO, None);
+        let b = c.least_loaded_fimm(SimTime::ZERO, None);
         assert_ne!(a, b, "equal loads rotate across FIMMs");
+    }
+
+    #[test]
+    fn least_loaded_skips_dead_fimms() {
+        use triplea_fimm::FimmFaultKind;
+        let mut c = cluster();
+        let dead = 0;
+        c.fimms[dead].schedule_fault(SimTime::from_us(1), FimmFaultKind::Dead);
+        // Make the dead module the least-loaded on paper.
+        for f in 1..c.fimms.len() {
+            c.pending_read_pages[f] = 10;
+        }
+        for _ in 0..8 {
+            let f = c.least_loaded_fimm(SimTime::from_us(1), None);
+            assert_ne!(f as usize, dead, "picked dead FIMM {f}");
+        }
+        // Before the fault fires it is still eligible.
+        assert_eq!(c.least_loaded_fimm(SimTime::ZERO, None), 0);
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! Array configuration.
 
-use triplea_flash::FlashTiming;
+use triplea_fimm::FimmFaultKind;
+use triplea_flash::{FlashFaultProfile, FlashTiming};
 use triplea_ftl::{ArrayShape, GcPolicy};
-use triplea_pcie::{PcieParams, Topology};
+use triplea_pcie::{PcieFaultProfile, PcieParams, Topology};
 use triplea_sim::Nanos;
 
 /// Whether the array runs the autonomic management module.
@@ -125,6 +126,66 @@ impl Default for AutonomicParams {
     }
 }
 
+/// Maximum number of scheduled whole-FIMM fault events per run.
+///
+/// Bounded (rather than a `Vec`) so [`ArrayConfig`] stays `Copy`.
+pub const MAX_FIMM_FAULT_EVENTS: usize = 8;
+
+/// A scheduled whole-module fault: at `at_ns`, the named FIMM dies or
+/// becomes a laggard (paper §4.2's "worn-out or broken flash" scenario).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FimmFaultEvent {
+    /// Global cluster index of the victim module.
+    pub cluster: u32,
+    /// FIMM index within the cluster.
+    pub fimm: u32,
+    /// Simulation time at which the fault fires (permanent thereafter).
+    pub at_ns: Nanos,
+    /// What happens: death or a latency-scale slowdown.
+    pub kind: FimmFaultKind,
+}
+
+/// Deterministic fault-injection configuration for a whole run.
+///
+/// The default is *quiet*: every probability zero and no scheduled
+/// events. A quiet config consumes no randomness and leaves every
+/// simulated timing untouched, so fault-free runs are bit-identical to
+/// builds that predate fault injection.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FaultConfig {
+    /// Per-command NAND fault probabilities, applied to every package.
+    pub flash: FlashFaultProfile,
+    /// TLP-corruption injection, applied to every switch link direction.
+    pub pcie: PcieFaultProfile,
+    /// Scheduled whole-FIMM failures/slowdowns.
+    pub fimm_events: [Option<FimmFaultEvent>; MAX_FIMM_FAULT_EVENTS],
+    /// Master seed; per-package and per-link RNG streams derive from it,
+    /// so equal seeds reproduce the exact same fault pattern.
+    pub seed: u64,
+}
+
+impl FaultConfig {
+    /// `true` when nothing can ever fire: no probabilities, no events.
+    pub fn is_quiet(&self) -> bool {
+        self.flash.is_quiet() && self.pcie.is_quiet() && self.fimm_events.iter().all(|e| e.is_none())
+    }
+
+    /// Adds a scheduled FIMM fault in the first free slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all [`MAX_FIMM_FAULT_EVENTS`] slots are taken.
+    pub fn with_fimm_event(mut self, ev: FimmFaultEvent) -> Self {
+        let slot = self
+            .fimm_events
+            .iter()
+            .position(|e| e.is_none())
+            .expect("no free FIMM fault-event slot");
+        self.fimm_events[slot] = Some(ev);
+        self
+    }
+}
+
 /// Complete configuration of one all-flash array instance.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ArrayConfig {
@@ -160,6 +221,8 @@ pub struct ArrayConfig {
     pub seed: u64,
     /// Record the per-request `(submit, latency)` series (Figure 16).
     pub collect_series: bool,
+    /// Deterministic fault injection (quiet by default).
+    pub faults: FaultConfig,
 }
 
 impl Default for ArrayConfig {
@@ -176,6 +239,7 @@ impl Default for ArrayConfig {
             gc_policy: GcPolicy::Greedy,
             seed: 0xAAA_2014,
             collect_series: false,
+            faults: FaultConfig::default(),
         }
     }
 }
@@ -276,5 +340,56 @@ mod tests {
     fn mode_display() {
         assert_eq!(ManagementMode::Autonomic.to_string(), "triple-a");
         assert_eq!(ManagementMode::NonAutonomic.to_string(), "non-autonomic");
+    }
+
+    #[test]
+    fn default_fault_config_is_quiet() {
+        assert!(FaultConfig::default().is_quiet());
+        assert!(ArrayConfig::default().faults.is_quiet());
+        assert!(ArrayConfig::small_test().faults.is_quiet());
+    }
+
+    #[test]
+    fn fault_events_fill_free_slots() {
+        let ev = FimmFaultEvent {
+            cluster: 0,
+            fimm: 1,
+            at_ns: 5_000,
+            kind: FimmFaultKind::Dead,
+        };
+        let fc = FaultConfig::default().with_fimm_event(ev).with_fimm_event(FimmFaultEvent {
+            fimm: 2,
+            kind: FimmFaultKind::Slowdown(4),
+            ..ev
+        });
+        assert!(!fc.is_quiet());
+        assert_eq!(fc.fimm_events[0], Some(ev));
+        assert_eq!(fc.fimm_events[1].unwrap().fimm, 2);
+        assert!(fc.fimm_events[2].is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "no free FIMM fault-event slot")]
+    fn fault_event_slots_are_bounded() {
+        let ev = FimmFaultEvent {
+            cluster: 0,
+            fimm: 0,
+            at_ns: 0,
+            kind: FimmFaultKind::Dead,
+        };
+        let mut fc = FaultConfig::default();
+        for _ in 0..=MAX_FIMM_FAULT_EVENTS {
+            fc = fc.with_fimm_event(ev);
+        }
+    }
+
+    #[test]
+    fn nonzero_probability_is_not_quiet() {
+        let mut fc = FaultConfig::default();
+        fc.flash.read_transient_prob = 1e-3;
+        assert!(!fc.is_quiet());
+        let mut fc = FaultConfig::default();
+        fc.pcie.corrupt_prob = 1e-3;
+        assert!(!fc.is_quiet());
     }
 }

@@ -50,10 +50,16 @@ mod request;
 
 pub use array::Array;
 pub use autonomic::{AutonomicState, AutonomicStats};
-pub use config::{ArrayConfig, AutonomicParams, LaggardStrategy, ManagementMode};
-pub use metrics::RunReport;
+pub use config::{
+    ArrayConfig, AutonomicParams, FaultConfig, FimmFaultEvent, LaggardStrategy, ManagementMode,
+    MAX_FIMM_FAULT_EVENTS,
+};
+pub use metrics::{FaultStats, RunReport};
 pub use request::{Breakdown, IoOp, Trace, TraceRequest};
 
-// Re-export the shape/address vocabulary users need alongside `Array`.
+// Re-export the shape/address vocabulary users need alongside `Array`,
+// plus the substrate-level fault types `FaultConfig` is built from.
+pub use triplea_fimm::FimmFaultKind;
+pub use triplea_flash::FlashFaultProfile;
 pub use triplea_ftl::{ArrayShape, LogicalPage, PhysLoc};
-pub use triplea_pcie::{ClusterId, Topology};
+pub use triplea_pcie::{ClusterId, PcieFaultProfile, Topology};

@@ -9,6 +9,46 @@ use crate::autonomic::AutonomicStats;
 use crate::config::ManagementMode;
 use crate::request::Breakdown;
 
+/// Fault-injection and degraded-mode activity observed during one run.
+///
+/// All-zero (see [`FaultStats::any`]) whenever the configured
+/// [`FaultConfig`](crate::FaultConfig) is quiet.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Read commands that failed ECC and were re-issued (flash layer).
+    pub transient_read_faults: u64,
+    /// Program commands that hard-failed at the NAND.
+    pub prog_failures: u64,
+    /// Erase commands that hard-failed at the NAND.
+    pub erase_failures: u64,
+    /// Blocks retired as grown bad blocks by those hard failures.
+    pub blocks_retired_by_fault: u64,
+    /// Scheduled whole-FIMM deaths that fired during the run.
+    pub fimm_deaths: u64,
+    /// Scheduled whole-FIMM slowdowns that fired during the run.
+    pub fimm_slowdowns: u64,
+    /// Host reads served by a live sibling because the home FIMM died.
+    pub degraded_reads: u64,
+    /// Reads that could not be served anywhere (every module dead).
+    pub unserviceable_reads: u64,
+    /// Writes redirected away from a failed module or bad block.
+    pub fault_write_redirects: u64,
+    /// Corrupted TLPs replayed on the PCI-E fabric.
+    pub tlp_replays: u64,
+    /// Migrations/reshapes of a page rolled back mid-copy; the original
+    /// mapping was kept and no data was lost.
+    pub migration_rollbacks: u64,
+    /// GC victim blocks quarantined because their erase hard-failed.
+    pub gc_failed_erases: u64,
+}
+
+impl FaultStats {
+    /// `true` when any fault or degraded-mode event was recorded.
+    pub fn any(&self) -> bool {
+        *self != FaultStats::default()
+    }
+}
+
 /// Everything measured during a run; the benchmark harness derives every
 /// table row and figure series from this.
 #[derive(Clone, Debug)]
@@ -32,6 +72,7 @@ pub struct RunReport {
     pub(crate) autonomic: AutonomicStats,
     pub(crate) ftl: FtlStats,
     pub(crate) wear: WearReport,
+    pub(crate) faults: FaultStats,
     pub(crate) events: u64,
 }
 
@@ -232,6 +273,11 @@ impl RunReport {
         self.wear
     }
 
+    /// Fault-injection and degraded-mode activity counters.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults
+    }
+
     /// Simulator events processed (diagnostics / perf benches).
     pub fn events_processed(&self) -> u64 {
         self.events
@@ -295,6 +341,20 @@ impl std::fmt::Display for RunReport {
                 self.autonomic.write_redirects
             )?;
         }
+        if self.faults.any() {
+            write!(
+                f,
+                "
+  faults: {} transient reads, {} prog fails, {} erase fails, {} bad blocks, {} tlp replays, {} degraded reads, {} rollbacks",
+                self.faults.transient_read_faults,
+                self.faults.prog_failures,
+                self.faults.erase_failures,
+                self.faults.blocks_retired_by_fault,
+                self.faults.tlp_replays,
+                self.faults.degraded_reads,
+                self.faults.migration_rollbacks
+            )?;
+        }
         Ok(())
     }
 }
@@ -324,6 +384,7 @@ mod tests {
             autonomic: AutonomicStats::default(),
             ftl: FtlStats::default(),
             wear: WearReport::default(),
+            faults: FaultStats::default(),
             events: 0,
         }
     }
@@ -367,6 +428,20 @@ mod tests {
         assert!(text.contains("IOPS"));
         r.autonomic.migrations_started = 3;
         assert!(r.to_string().contains("3 migrations"));
+    }
+
+    #[test]
+    fn fault_stats_render_only_when_present() {
+        let mut r = empty_report();
+        r.completed = 1;
+        assert!(!r.fault_stats().any());
+        assert!(!r.to_string().contains("faults:"));
+        r.faults.transient_read_faults = 7;
+        r.faults.migration_rollbacks = 2;
+        assert!(r.fault_stats().any());
+        let text = r.to_string();
+        assert!(text.contains("7 transient reads"));
+        assert!(text.contains("2 rollbacks"));
     }
 
     #[test]

@@ -34,4 +34,4 @@ mod bus;
 mod module;
 
 pub use bus::OnfiBus;
-pub use module::{Fimm, FimmAddr, FimmStats};
+pub use module::{Fimm, FimmAddr, FimmFaultKind, FimmStats};

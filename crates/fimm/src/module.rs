@@ -1,9 +1,21 @@
 //! The FIMM itself: eight packages behind one connector.
 
 use triplea_flash::{
-    FlashCommand, FlashError, FlashGeometry, FlashTiming, OpTiming, Package, PageAddr, WearReport,
+    FlashCommand, FlashError, FlashFaultProfile, FlashGeometry, FlashTiming, OpTiming, Package,
+    PackageFaultStats, PageAddr, WearReport,
 };
 use triplea_sim::SimTime;
+
+/// What happens to a FIMM when its scheduled fault fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FimmFaultKind {
+    /// The module stops answering entirely; every operation returns
+    /// [`FlashError::ModuleFailed`].
+    Dead,
+    /// Every package on the module slows by the given latency multiplier,
+    /// turning the FIMM into a laggard (paper §4.2, Eq. 3).
+    Slowdown(u32),
+}
 
 /// Address of a page within a FIMM: which package (chip-enable) plus the
 /// package-internal page address.
@@ -38,6 +50,10 @@ pub struct FimmStats {
 #[derive(Clone, Debug)]
 pub struct Fimm {
     packages: Vec<Package>,
+    /// Scheduled whole-module fault, if any. Fires lazily the first time
+    /// the simulation clock passes `at`; faults are permanent.
+    fault: Option<(SimTime, FimmFaultKind)>,
+    slowdown_applied: bool,
 }
 
 impl Fimm {
@@ -52,6 +68,61 @@ impl Fimm {
             packages: (0..n_packages)
                 .map(|_| Package::new(geom, timing))
                 .collect(),
+            fault: None,
+            slowdown_applied: false,
+        }
+    }
+
+    /// Schedules a permanent whole-module fault to fire at `at`.
+    pub fn schedule_fault(&mut self, at: SimTime, kind: FimmFaultKind) {
+        self.fault = Some((at, kind));
+        self.slowdown_applied = false;
+    }
+
+    /// The scheduled module fault, if any.
+    pub fn scheduled_fault(&self) -> Option<(SimTime, FimmFaultKind)> {
+        self.fault
+    }
+
+    /// `true` once a scheduled [`FimmFaultKind::Dead`] fault has fired:
+    /// the module no longer answers and its data must be served (or
+    /// redirected) elsewhere.
+    pub fn is_dead_at(&self, now: SimTime) -> bool {
+        matches!(self.fault, Some((at, FimmFaultKind::Dead)) if now >= at)
+    }
+
+    /// Arms deterministic per-package NAND fault injection, deriving a
+    /// distinct RNG seed per package from `seed`.
+    pub fn set_fault_profile(&mut self, profile: FlashFaultProfile, seed: u64) {
+        for (i, p) in self.packages.iter_mut().enumerate() {
+            p.set_faults(
+                profile,
+                seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+        }
+    }
+
+    /// Aggregated NAND fault counters across packages.
+    pub fn fault_stats(&self) -> PackageFaultStats {
+        let mut acc = PackageFaultStats::default();
+        for p in &self.packages {
+            acc.merge(&p.fault_stats());
+        }
+        acc
+    }
+
+    /// Applies a due slowdown fault to the packages (idempotent).
+    fn fire_due_faults(&mut self, now: SimTime) {
+        if self.slowdown_applied {
+            return;
+        }
+        if let Some((at, FimmFaultKind::Slowdown(scale))) = self.fault {
+            if now >= at {
+                for p in &mut self.packages {
+                    p.set_latency_scale(scale);
+                }
+                self.slowdown_applied = true;
+            }
         }
     }
 
@@ -126,7 +197,26 @@ impl Fimm {
         package: u32,
         cmd: &FlashCommand,
     ) -> Result<OpTiming, FlashError> {
+        if self.is_dead_at(now) {
+            return Err(FlashError::ModuleFailed);
+        }
+        self.fire_due_faults(now);
         self.packages[package as usize].begin_op(now, cmd)
+    }
+
+    /// Fault-immune variant of [`Fimm::begin_op`] for last-resort
+    /// recovery reads; a dead module still refuses.
+    pub fn begin_op_recovery(
+        &mut self,
+        now: SimTime,
+        package: u32,
+        cmd: &FlashCommand,
+    ) -> Result<OpTiming, FlashError> {
+        if self.is_dead_at(now) {
+            return Err(FlashError::ModuleFailed);
+        }
+        self.fire_due_faults(now);
+        self.packages[package as usize].begin_op_recovery(now, cmd)
     }
 
     /// `true` when every die of every package is idle at `now` — the
@@ -255,6 +345,65 @@ mod tests {
         let s = f.stats();
         assert_eq!((s.reads, s.programs, s.erases), (1, 1, 1));
         assert_eq!(f.wear_report().total_erases, 1);
+    }
+
+    #[test]
+    fn dead_fimm_refuses_everything_after_deadline() {
+        let mut f = fimm();
+        f.schedule_fault(SimTime::from_us(100), FimmFaultKind::Dead);
+        assert!(!f.is_dead_at(SimTime::from_us(99)));
+        assert!(f
+            .begin_op(SimTime::from_us(99), 0, &FlashCommand::read(addr(0, 0, 0).page))
+            .is_ok());
+        assert!(f.is_dead_at(SimTime::from_us(100)));
+        assert_eq!(
+            f.begin_op(SimTime::from_us(100), 0, &FlashCommand::read(addr(0, 0, 0).page)),
+            Err(FlashError::ModuleFailed)
+        );
+        assert_eq!(
+            f.begin_op_recovery(SimTime::from_us(200), 1, &FlashCommand::read(addr(1, 0, 0).page)),
+            Err(FlashError::ModuleFailed),
+            "recovery reads cannot resurrect a dead module"
+        );
+        assert_eq!(f.stats().reads, 1, "only the pre-fault read served");
+    }
+
+    #[test]
+    fn slowdown_fault_scales_latency_permanently() {
+        let mut f = fimm();
+        f.schedule_fault(SimTime::from_us(50), FimmFaultKind::Slowdown(8));
+        let before = f
+            .begin_op(SimTime::ZERO, 0, &FlashCommand::read(addr(0, 0, 0).page))
+            .unwrap();
+        assert_eq!(before.end - before.start, 26_000, "healthy before deadline");
+        let after = f
+            .begin_op(SimTime::from_us(50), 1, &FlashCommand::read(addr(1, 0, 0).page))
+            .unwrap();
+        assert_eq!(after.end - after.start, 8 * 26_000, "laggard after");
+        assert!(!f.is_dead_at(SimTime::from_us(1_000)), "slow, not dead");
+        assert_eq!(
+            f.scheduled_fault(),
+            Some((SimTime::from_us(50), FimmFaultKind::Slowdown(8)))
+        );
+    }
+
+    #[test]
+    fn fault_profile_reaches_every_package() {
+        let mut f = fimm();
+        f.set_fault_profile(
+            FlashFaultProfile {
+                read_transient_prob: 1.0,
+                ..FlashFaultProfile::default()
+            },
+            42,
+        );
+        for pkg in 0..f.package_count() {
+            assert!(f
+                .begin_op(SimTime::ZERO, pkg, &FlashCommand::read(addr(pkg, 0, 0).page))
+                .unwrap_err()
+                .is_transient());
+        }
+        assert_eq!(f.fault_stats().read_transients, 8);
     }
 
     #[test]

@@ -23,6 +23,39 @@ pub enum FlashError {
     OverwriteWithoutErase(PageAddr),
     /// The block has exceeded its P/E endurance and is retired.
     WornOut(PageAddr),
+    /// A read attempt failed ECC decoding; the die time was consumed and
+    /// the caller should re-issue the read (it will queue behind the
+    /// failed attempt, which is exactly the ECC re-read penalty).
+    ReadTransient(PageAddr),
+    /// A program operation failed in hardware; the block is retired as a
+    /// grown bad block and the caller must re-allocate elsewhere.
+    ProgramFailed(PageAddr),
+    /// An erase operation failed in hardware; the block is retired as a
+    /// grown bad block and must not be recycled.
+    EraseFailed(PageAddr),
+    /// The whole module (FIMM) behind this package has failed; no
+    /// operation can be serviced.
+    ModuleFailed,
+}
+
+impl FlashError {
+    /// `true` for faults that a retry of the same operation can clear
+    /// (currently only ECC read failures).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, FlashError::ReadTransient(_))
+    }
+
+    /// `true` for hardware failures — the target block or device is gone
+    /// and the operation must be redirected, not retried in place.
+    pub fn is_device_failure(&self) -> bool {
+        matches!(
+            self,
+            FlashError::ProgramFailed(_)
+                | FlashError::EraseFailed(_)
+                | FlashError::WornOut(_)
+                | FlashError::ModuleFailed
+        )
+    }
 }
 
 impl std::fmt::Display for FlashError {
@@ -40,6 +73,12 @@ impl std::fmt::Display for FlashError {
                 write!(f, "program to non-erased page at {a}")
             }
             FlashError::WornOut(a) => write!(f, "block at {a} exceeded endurance"),
+            FlashError::ReadTransient(a) => {
+                write!(f, "transient ECC read failure at {a}")
+            }
+            FlashError::ProgramFailed(a) => write!(f, "program failed at {a} (block retired)"),
+            FlashError::EraseFailed(a) => write!(f, "erase failed at {a} (block retired)"),
+            FlashError::ModuleFailed => write!(f, "module failed"),
         }
     }
 }
@@ -62,10 +101,38 @@ mod tests {
             FlashError::ProgramOrder(addr),
             FlashError::OverwriteWithoutErase(addr),
             FlashError::WornOut(addr),
+            FlashError::ReadTransient(addr),
+            FlashError::ProgramFailed(addr),
+            FlashError::EraseFailed(addr),
+            FlashError::ModuleFailed,
         ] {
             let msg = e.to_string();
             assert!(!msg.is_empty());
             assert!(msg.chars().next().unwrap().is_lowercase(), "{msg}");
+        }
+    }
+
+    #[test]
+    fn classification_helpers() {
+        let addr = PageAddr::default();
+        assert!(FlashError::ReadTransient(addr).is_transient());
+        assert!(!FlashError::ReadTransient(addr).is_device_failure());
+        for hard in [
+            FlashError::ProgramFailed(addr),
+            FlashError::EraseFailed(addr),
+            FlashError::WornOut(addr),
+            FlashError::ModuleFailed,
+        ] {
+            assert!(hard.is_device_failure(), "{hard}");
+            assert!(!hard.is_transient(), "{hard}");
+        }
+        // Caller mistakes are neither transient nor device failures.
+        for bug in [
+            FlashError::EmptyCommand,
+            FlashError::ProgramOrder(addr),
+            FlashError::OverwriteWithoutErase(addr),
+        ] {
+            assert!(!bug.is_transient() && !bug.is_device_failure(), "{bug}");
         }
     }
 

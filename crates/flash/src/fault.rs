@@ -1,0 +1,84 @@
+//! Deterministic NAND fault injection.
+//!
+//! A [`FlashFaultProfile`] gives per-operation failure probabilities; the
+//! package draws from its own seeded [`SplitMix64`](triplea_sim::SplitMix64)
+//! stream, so equal seeds and equal op sequences produce identical fault
+//! patterns. With every probability at zero the package draws nothing and
+//! behaves bit-for-bit like a fault-free build (pay for what you use).
+
+/// Per-package probabilities of NAND faults, drawn once per command.
+///
+/// * Read faults are *transient*: the die time is consumed (the failed
+///   sensing + ECC decode attempt) and the caller re-reads, queueing
+///   behind the wasted attempt — the ECC re-read penalty.
+/// * Program/erase faults are *hard*: the target block is retired as a
+///   grown bad block and the caller must go elsewhere.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FlashFaultProfile {
+    /// Probability a read command fails ECC and must be re-issued.
+    pub read_transient_prob: f64,
+    /// Probability a program command hard-fails, retiring its block.
+    pub prog_fail_prob: f64,
+    /// Probability an erase command hard-fails, retiring its block.
+    pub erase_fail_prob: f64,
+}
+
+impl FlashFaultProfile {
+    /// `true` when every probability is zero: no RNG is consumed and
+    /// operation timing is untouched.
+    pub fn is_quiet(&self) -> bool {
+        self.read_transient_prob <= 0.0 && self.prog_fail_prob <= 0.0 && self.erase_fail_prob <= 0.0
+    }
+}
+
+/// Fault-event counters for one package.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PackageFaultStats {
+    /// Read commands that failed ECC and were surfaced for re-read.
+    pub read_transients: u64,
+    /// Program commands that hard-failed.
+    pub prog_failures: u64,
+    /// Erase commands that hard-failed.
+    pub erase_failures: u64,
+    /// Blocks retired as grown bad blocks by those hard failures.
+    pub blocks_force_retired: u64,
+}
+
+impl PackageFaultStats {
+    /// Folds another package's counters into this one.
+    pub fn merge(&mut self, other: &PackageFaultStats) {
+        self.read_transients += other.read_transients;
+        self.prog_failures += other.prog_failures;
+        self.erase_failures += other.erase_failures;
+        self.blocks_force_retired += other.blocks_force_retired;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_profile_is_quiet() {
+        assert!(FlashFaultProfile::default().is_quiet());
+        assert!(!FlashFaultProfile {
+            read_transient_prob: 0.01,
+            ..FlashFaultProfile::default()
+        }
+        .is_quiet());
+    }
+
+    #[test]
+    fn stats_merge_adds() {
+        let mut a = PackageFaultStats {
+            read_transients: 1,
+            prog_failures: 2,
+            erase_failures: 3,
+            blocks_force_retired: 4,
+        };
+        let snapshot = a;
+        a.merge(&snapshot);
+        assert_eq!(a.read_transients, 2);
+        assert_eq!(a.blocks_force_retired, 8);
+    }
+}

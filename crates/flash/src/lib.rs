@@ -29,6 +29,7 @@
 
 mod command;
 mod error;
+mod fault;
 mod geometry;
 mod package;
 mod timing;
@@ -36,6 +37,7 @@ mod wear;
 
 pub use command::{CmdMode, FlashCommand, OpKind};
 pub use error::FlashError;
+pub use fault::{FlashFaultProfile, PackageFaultStats};
 pub use geometry::{FlashGeometry, PageAddr};
 pub use package::{OpTiming, Package, PackageStats};
 pub use timing::{FlashTiming, OnfiTiming};

@@ -1,7 +1,7 @@
 //! Per-block wear (P/E cycle) accounting, used for the paper's §6.5
 //! migration wear-out analysis and the §6.7 global wear-levelling hooks.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Tracks erase counts per block and retires blocks that exceed their
 /// endurance.
@@ -24,6 +24,9 @@ pub struct WearTracker {
     erase_counts: HashMap<u64, u32>,
     total_erases: u64,
     retired: u64,
+    /// Grown bad blocks: retired by a hardware program/erase failure
+    /// before reaching the endurance limit.
+    forced: HashSet<u64>,
 }
 
 impl WearTracker {
@@ -34,6 +37,7 @@ impl WearTracker {
             erase_counts: HashMap::new(),
             total_erases: 0,
             retired: 0,
+            forced: HashSet::new(),
         }
     }
 
@@ -41,6 +45,9 @@ impl WearTracker {
     /// if the block is already retired; retires it when the erase brings
     /// it to the endurance limit.
     pub fn record_erase(&mut self, block: u64) -> bool {
+        if self.forced.contains(&block) {
+            return false;
+        }
         let c = self.erase_counts.entry(block).or_insert(0);
         if *c >= self.endurance {
             return false;
@@ -58,9 +65,36 @@ impl WearTracker {
         self.erase_counts.get(&block).copied().unwrap_or(0)
     }
 
-    /// `true` once the block hit its endurance limit.
+    /// Retires `block` immediately — a *grown bad block* after a hardware
+    /// program or erase failure, independent of its erase count. Returns
+    /// `false` if it was already retired.
+    pub fn force_retire(&mut self, block: u64) -> bool {
+        if self.is_retired(block) {
+            return false;
+        }
+        self.forced.insert(block);
+        self.retired += 1;
+        true
+    }
+
+    /// `true` once the block hit its endurance limit or was force-retired
+    /// as a grown bad block.
     pub fn is_retired(&self, block: u64) -> bool {
-        self.erase_count(block) >= self.endurance
+        self.forced.contains(&block) || self.erase_count(block) >= self.endurance
+    }
+
+    /// All retired blocks — worn out *and* grown bad — in ascending
+    /// order, so bad-block remapping and reporting stay deterministic.
+    pub fn retired_blocks(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .erase_counts
+            .iter()
+            .filter(|&(_, &c)| c >= self.endurance)
+            .map(|(&b, _)| b)
+            .chain(self.forced.iter().copied())
+            .collect();
+        out.sort_unstable();
+        out
     }
 
     /// Endurance limit this tracker enforces.
@@ -186,6 +220,30 @@ mod tests {
         assert_eq!(ra.touched_blocks, 2);
         assert_eq!(ra.max_erase_count, 2);
         assert!((ra.mean_erase_count - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn force_retire_grows_bad_blocks() {
+        let mut w = WearTracker::new(100);
+        w.record_erase(3);
+        assert!(w.force_retire(3));
+        assert!(w.is_retired(3));
+        assert!(!w.force_retire(3), "second retirement is a no-op");
+        assert!(!w.record_erase(3), "bad blocks reject further erases");
+        assert_eq!(w.report().retired_blocks, 1);
+        assert_eq!(w.erase_count(3), 1, "forced retirement keeps the count");
+    }
+
+    #[test]
+    fn retired_blocks_lists_worn_and_forced_sorted() {
+        let mut w = WearTracker::new(2);
+        w.record_erase(9);
+        w.record_erase(9); // worn out
+        w.force_retire(4); // grown bad
+        w.record_erase(1); // healthy
+        assert_eq!(w.retired_blocks(), vec![4, 9]);
+        assert!(!w.force_retire(9), "worn block already retired");
+        assert_eq!(w.report().retired_blocks, 2);
     }
 
     #[test]

@@ -163,7 +163,33 @@ impl FimmAllocator {
         s.recycled.push(Reverse((c, block)));
     }
 
-    /// Blocks permanently retired for reaching the endurance limit.
+    /// Permanently removes a block from service — a *grown bad block*
+    /// after a hardware program/erase failure. Closes it if it is the
+    /// stream's active block, drops it from the recycled pool, and pins
+    /// its erase count at the endurance limit so [`Self::recycle`] can
+    /// never pool it again.
+    pub fn quarantine(&mut self, key: BlockKey) {
+        let (package, die, block) = key;
+        if self.erase_count(key) >= self.geom.endurance {
+            return; // already retired
+        }
+        let plane = self.geom.plane_of_block(block);
+        if let Some(s) = self
+            .streams
+            .iter_mut()
+            .find(|s| s.package == package && s.die == die && s.plane == plane)
+        {
+            if matches!(s.active, Some((b, _)) if b == block) {
+                s.active = None;
+            }
+            s.recycled.retain(|Reverse((_, b))| *b != block);
+        }
+        self.erase_counts.insert(key, self.geom.endurance);
+        self.retired += 1;
+    }
+
+    /// Blocks permanently retired: worn to the endurance limit or
+    /// quarantined as grown bad blocks.
     pub fn retired_blocks(&self) -> u64 {
         self.retired
     }

@@ -358,6 +358,101 @@ impl Ftl {
         true
     }
 
+    /// Rolls back a clone-then-unlink migration whose copy failed
+    /// mid-flight: the clone at `new_loc` (from [`Ftl::migrate_prepare`])
+    /// is discarded and the LPN keeps whatever mapping it has — readers
+    /// never saw the clone, so no data is lost. Returns `false` (and
+    /// does nothing) in the pathological case where the clone was already
+    /// committed as the live mapping.
+    pub fn migrate_abort(&mut self, lpn: LogicalPage, new_loc: PhysLoc) -> bool {
+        if self.map.locate(lpn) == new_loc {
+            return false;
+        }
+        self.invalidate(new_loc);
+        true
+    }
+
+    /// Quarantines the block holding `loc` after a hardware program/erase
+    /// failure: the allocator will never hand out or recycle it again.
+    /// Live pages already in the block stay readable and are moved out by
+    /// normal overwrite/GC/migration traffic.
+    pub fn quarantine_block(&mut self, loc: PhysLoc) {
+        self.allocator(loc.cluster, loc.fimm).quarantine((
+            loc.addr.package,
+            loc.addr.page.die,
+            loc.addr.page.block,
+        ));
+    }
+
+    /// End-to-end metadata integrity check; `Err` describes the first
+    /// violation found.
+    ///
+    /// Verifies — with no migration in flight — that (1) no two relocated
+    /// LPNs share a physical page, (2) every relocated LPN is recorded
+    /// live at exactly its mapped location in the block tables, and (3)
+    /// every live block-table entry round-trips through the map. Together
+    /// these prove no page was lost or duplicated by writes, GC,
+    /// migration, or fault rollback.
+    pub fn verify_integrity(&self) -> Result<(), String> {
+        let mut seen: HashMap<PhysLoc, LogicalPage> = HashMap::new();
+        for (lpn, loc) in self.map.remapped_entries() {
+            if !self.shape.contains(loc) {
+                return Err(format!("lpn {} maps outside the array: {loc}", lpn.0));
+            }
+            if let Some(prev) = seen.insert(loc, lpn) {
+                return Err(format!(
+                    "physical page {loc} mapped by both lpn {} and lpn {}",
+                    prev.0, lpn.0
+                ));
+            }
+            let gkey = (
+                self.shape.topology.global_index(loc.cluster),
+                loc.fimm,
+                (loc.addr.package, loc.addr.page.die, loc.addr.page.block),
+            );
+            let listed = self
+                .blocks
+                .get(&gkey)
+                .and_then(|b| b.lpns.get(&loc.addr.page.page));
+            if listed != Some(&lpn) {
+                return Err(format!(
+                    "lpn {} maps to {loc} but the block table records {listed:?} there",
+                    lpn.0
+                ));
+            }
+        }
+        for ((c, f, key), b) in &self.blocks {
+            for (&pg, &lpn) in &b.lpns {
+                let loc = self.map.locate(lpn);
+                let here = (
+                    self.shape.topology.global_index(loc.cluster),
+                    loc.fimm,
+                    (loc.addr.package, loc.addr.page.die, loc.addr.page.block),
+                );
+                if here != (*c, *f, *key) || loc.addr.page.page != pg {
+                    return Err(format!(
+                        "block table lists lpn {} live at ({c}, {f}, {key:?}) page {pg} \
+                         but the map points at {loc}",
+                        lpn.0
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Finalises a GC unit whose erase hard-failed: the victim is dropped
+    /// from the block table and quarantined rather than recycled — a
+    /// grown bad block permanently costs its capacity. The live pages
+    /// were already rewritten before the erase was attempted, so nothing
+    /// is lost.
+    pub fn gc_finish_failed(&mut self, work: &GcWork) {
+        let gc = self.shape.topology.global_index(work.cluster);
+        let key = (work.package, work.die, work.block);
+        self.blocks.remove(&(gc, work.fimm, key));
+        self.allocator(work.cluster, work.fimm).quarantine(key);
+    }
+
     /// `true` when the FIMM's free-block pool has shrunk below
     /// `threshold` blocks and GC should run.
     pub fn needs_gc(&mut self, cluster: ClusterId, fimm: u32, threshold: u64) -> bool {
@@ -389,14 +484,22 @@ impl Ftl {
             .iter()
             .filter(|((c, f, _), b)| *c == gc && *f == fimm && b.programmed == pages)
             .filter(|(_, b)| b.invalid() > 0)
-            .max_by_key(|(_, b)| score(b))
-            .map(|((_, _, key), b)| GcWork {
-                cluster,
-                fimm,
-                package: key.0,
-                die: key.1,
-                block: key.2,
-                valid: b.lpns.values().copied().collect(),
+            // Tie-break on the block key: HashMap iteration order is not
+            // deterministic across processes, and replay determinism is a
+            // contract of the whole simulator.
+            .max_by_key(|((_, _, key), b)| (score(b), std::cmp::Reverse(*key)))
+            .map(|((_, _, key), b)| {
+                let mut live: Vec<(u32, LogicalPage)> =
+                    b.lpns.iter().map(|(&pg, &l)| (pg, l)).collect();
+                live.sort_unstable_by_key(|&(pg, _)| pg);
+                GcWork {
+                    cluster,
+                    fimm,
+                    package: key.0,
+                    die: key.1,
+                    block: key.2,
+                    valid: live.into_iter().map(|(_, l)| l).collect(),
+                }
             })
     }
 
@@ -586,6 +689,92 @@ mod tests {
         assert_eq!(f.locate(lpn), newer, "newer data wins");
         // The discarded clone counts as an invalidation.
         assert!(f.stats().invalidations >= 1);
+    }
+
+    #[test]
+    fn migrate_abort_discards_clone_and_keeps_original() {
+        let mut f = ftl();
+        let lpn = LogicalPage(11);
+        let old = f.locate(lpn);
+        let target = ClusterId {
+            switch: old.cluster.switch,
+            index: (old.cluster.index + 1) % f.shape().topology.clusters_per_switch,
+        };
+        let clone = f.migrate_prepare(lpn, target, 1).unwrap();
+        assert!(f.migrate_abort(lpn, clone), "abort succeeds mid-flight");
+        assert_eq!(f.locate(lpn), old, "original mapping survives");
+        assert_eq!(f.stats().invalidations, 1, "clone page invalidated");
+        f.verify_integrity().expect("abort leaves metadata consistent");
+        // A later write works normally.
+        f.write_alloc(lpn, None).unwrap();
+        f.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn migrate_abort_refuses_after_commit() {
+        let mut f = ftl();
+        let lpn = LogicalPage(8);
+        let old = f.locate(lpn);
+        let target = ClusterId {
+            switch: old.cluster.switch,
+            index: (old.cluster.index + 1) % f.shape().topology.clusters_per_switch,
+        };
+        let clone = f.migrate_prepare(lpn, target, 0).unwrap();
+        assert!(f.migrate_commit(lpn, clone, old));
+        assert!(!f.migrate_abort(lpn, clone), "committed clone is the data");
+        assert_eq!(f.locate(lpn), clone);
+        f.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn verify_integrity_detects_lost_page() {
+        let mut f = ftl();
+        let lpn = LogicalPage(21);
+        let loc = f.write_alloc(lpn, None).unwrap();
+        f.verify_integrity().unwrap();
+        // Simulate a buggy rollback that invalidates the live mapping.
+        f.invalidate(loc);
+        let err = f.verify_integrity().unwrap_err();
+        assert!(err.contains("block table records"), "{err}");
+    }
+
+    #[test]
+    fn gc_finish_failed_quarantines_instead_of_recycling() {
+        let mut f = ftl();
+        let home = f.locate(LogicalPage(0));
+        let g = f.shape().flash;
+        let streams = (f.shape().packages_per_fimm * g.dies * g.planes) as u64;
+        for _ in 0..(g.pages_per_block as u64 * streams) {
+            f.write_alloc(LogicalPage(0), None).unwrap();
+        }
+        let work = f.gc_pick(home.cluster, home.fimm).expect("victim exists");
+        for lpn in work.valid.clone() {
+            f.gc_rewrite(lpn, &work).unwrap();
+        }
+        let before = f.fimm_free_blocks(work.cluster, work.fimm);
+        f.gc_finish_failed(&work);
+        assert_eq!(
+            f.fimm_free_blocks(work.cluster, work.fimm),
+            before,
+            "failed erase returns nothing to the pool"
+        );
+        assert_eq!(f.stats().gc_erases, 0);
+        let key = (
+            f.shape().topology.global_index(work.cluster),
+            work.fimm,
+        );
+        assert_eq!(f.allocs[&key].retired_blocks(), 1);
+        f.verify_integrity().unwrap();
+        // The quarantined block is never handed out again: drain the
+        // FIMM and check the bad block's pages never reappear.
+        let bad = (work.package, work.die, work.block);
+        while let Ok(loc) = f.write_alloc(LogicalPage(1), Some((work.cluster, work.fimm))) {
+            assert_ne!(
+                (loc.addr.package, loc.addr.page.die, loc.addr.page.block),
+                bad,
+                "quarantined block re-issued"
+            );
+        }
     }
 
     #[test]

@@ -70,6 +70,13 @@ impl PageMap {
         self.overrides.len()
     }
 
+    /// Iterates every relocated page with its current physical location
+    /// (arbitrary order). Integrity checks walk this to prove no page was
+    /// lost or duplicated by migration, GC, or fault recovery.
+    pub fn remapped_entries(&self) -> impl Iterator<Item = (LogicalPage, PhysLoc)> + '_ {
+        self.overrides.iter().map(|(&lpn, &loc)| (lpn, loc))
+    }
+
     /// Total remap operations ever performed.
     pub fn total_remaps(&self) -> u64 {
         self.remaps

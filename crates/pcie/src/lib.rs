@@ -39,6 +39,6 @@ mod topology;
 
 pub use device::{Endpoint, RootComplex, Switch};
 pub use flow::{Admission, CreditQueue};
-pub use link::{DuplexLink, LinkGen, PcieLink};
+pub use link::{DuplexLink, LinkGen, PcieFaultProfile, PcieLink};
 pub use tlp::{Tlp, TlpKind};
 pub use topology::{ClusterId, PcieParams, Topology};

@@ -1,6 +1,29 @@
 //! Serialising PCI-E links.
 
-use triplea_sim::{FifoResource, Nanos, Reservation, SimTime};
+use triplea_sim::{FifoResource, Nanos, Reservation, SimTime, SplitMix64};
+
+/// Deterministic TLP-corruption injection for one link direction.
+///
+/// PCI-E detects a corrupted TLP via its LCRC and recovers in the data
+/// link layer: the receiver withholds the ACK, the transmitter's replay
+/// timer fires, and the packet is retransmitted. The model charges the
+/// wire a second serialisation of the packet plus a fixed replay-timer
+/// delay — later packets queue behind the retransmission.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PcieFaultProfile {
+    /// Probability a transmitted TLP is corrupted and must be replayed.
+    pub corrupt_prob: f64,
+    /// Replay-timer delay charged on top of the retransmission.
+    pub replay_ns: Nanos,
+}
+
+impl PcieFaultProfile {
+    /// `true` when the profile can never fire: no RNG is consumed and
+    /// transmission timing is untouched.
+    pub fn is_quiet(&self) -> bool {
+        self.corrupt_prob <= 0.0
+    }
+}
 
 /// PCI-Express generation, determining per-lane bandwidth.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -34,6 +57,9 @@ pub struct PcieLink {
     res: FifoResource,
     packets: u64,
     bytes: u64,
+    faults: PcieFaultProfile,
+    fault_rng: SplitMix64,
+    replays: u64,
 }
 
 impl PcieLink {
@@ -51,7 +77,21 @@ impl PcieLink {
             res: FifoResource::new("pcie-link"),
             packets: 0,
             bytes: 0,
+            faults: PcieFaultProfile::default(),
+            fault_rng: SplitMix64::new(0),
+            replays: 0,
         }
+    }
+
+    /// Arms deterministic TLP-corruption injection on this direction.
+    pub fn set_faults(&mut self, profile: PcieFaultProfile, seed: u64) {
+        self.faults = profile;
+        self.fault_rng = SplitMix64::new(seed);
+    }
+
+    /// TLPs that were corrupted and replayed so far.
+    pub fn replays(&self) -> u64 {
+        self.replays
     }
 
     /// Link bandwidth in bytes/second.
@@ -72,7 +112,13 @@ impl PcieLink {
     /// `end + propagation()`. `wait` is time spent queued behind earlier
     /// packets on this direction of the link.
     pub fn transmit(&mut self, now: SimTime, bytes: u64) -> Reservation {
-        let dur = self.serialize_nanos(bytes);
+        let mut dur = self.serialize_nanos(bytes);
+        if self.faults.corrupt_prob > 0.0 && self.fault_rng.chance(self.faults.corrupt_prob) {
+            // Corrupted TLP: the wire carries it twice, plus the replay
+            // timer; everything behind this packet queues up.
+            dur += self.serialize_nanos(bytes) + self.faults.replay_ns;
+            self.replays += 1;
+        }
         self.packets += 1;
         self.bytes += bytes;
         self.res.reserve(now, dur)
@@ -173,6 +219,56 @@ mod tests {
             SimTime::from_nanos(1_150)
         );
         assert_eq!(l.propagation(), 150);
+    }
+
+    #[test]
+    fn corrupted_tlp_replays_and_delays_followers() {
+        let mut l = PcieLink::new(LinkGen::Gen1, 1, 0);
+        l.set_faults(
+            PcieFaultProfile {
+                corrupt_prob: 1.0,
+                replay_ns: 500,
+            },
+            3,
+        );
+        let a = l.transmit(SimTime::ZERO, 250); // 1us serialise, doubled + 500ns
+        assert_eq!(a.end - a.start, 2_500);
+        assert_eq!(l.replays(), 1);
+        let b = l.transmit(SimTime::ZERO, 250);
+        assert_eq!(b.wait, 2_500, "follower queues behind the replay");
+    }
+
+    #[test]
+    fn corruption_pattern_is_seed_deterministic() {
+        let profile = PcieFaultProfile {
+            corrupt_prob: 0.25,
+            replay_ns: 100,
+        };
+        let run = |seed: u64| {
+            let mut l = PcieLink::new(LinkGen::Gen3, 4, 0);
+            l.set_faults(profile, seed);
+            for _ in 0..200 {
+                l.transmit(SimTime::ZERO, 4096);
+            }
+            (l.replays(), l.free_at())
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5).0, run(6).0);
+        let (replays, _) = run(5);
+        assert!(replays > 0 && replays < 200);
+    }
+
+    #[test]
+    fn quiet_fault_profile_changes_nothing() {
+        let mut armed = PcieLink::new(LinkGen::Gen2, 2, 10);
+        armed.set_faults(PcieFaultProfile::default(), 77);
+        let mut plain = PcieLink::new(LinkGen::Gen2, 2, 10);
+        for i in 0..50 {
+            let x = armed.transmit(SimTime::from_nanos(i * 13), 700);
+            let y = plain.transmit(SimTime::from_nanos(i * 13), 700);
+            assert_eq!(x, y);
+        }
+        assert_eq!(armed.replays(), 0);
     }
 
     #[test]

@@ -232,7 +232,7 @@ mod tests {
         let per_cluster = c.shape.pages_per_cluster();
         for r in t.requests() {
             let g = r.lpn.0 / per_cluster;
-            assert!(g / cps as u64 == 0, "request escaped switch 0");
+            assert!(g / cps == 0, "request escaped switch 0");
         }
     }
 

@@ -1,0 +1,225 @@
+//! Fault-injection integration tests: zero-rate transparency, seeded
+//! determinism, degraded-mode operation under module death/slowdown,
+//! migration rollback integrity, and an exhaustive abort-at-every-step
+//! property over the clone-then-unlink migration protocol.
+
+use proptest::prelude::*;
+
+use triple_a::core::{
+    Array, ArrayConfig, FaultConfig, FimmFaultEvent, FimmFaultKind, FlashFaultProfile,
+    ManagementMode, PcieFaultProfile,
+};
+use triple_a::ftl::{Ftl, LogicalPage};
+use triple_a::pcie::ClusterId;
+use triple_a::workloads::Microbench;
+
+fn small() -> ArrayConfig {
+    ArrayConfig::small_test()
+}
+
+fn hot_read_trace(cfg: &ArrayConfig) -> triple_a::core::Trace {
+    Microbench::read()
+        .hot_clusters(1)
+        .requests(6_000)
+        .gap_ns(1_400)
+        .build(cfg, 31)
+}
+
+/// A quiet fault plan (all rates zero, no events) must not perturb the
+/// simulation at all — byte-identical report, even with a nonzero seed.
+#[test]
+fn zero_rate_fault_config_is_transparent() {
+    let plain = small();
+    let mut seeded = small();
+    seeded.faults = FaultConfig {
+        seed: 0xDEAD_BEEF,
+        ..FaultConfig::default()
+    };
+    assert!(seeded.faults.is_quiet());
+    let trace = hot_read_trace(&plain);
+    let a = Array::new(plain, ManagementMode::Autonomic).run(&trace);
+    let b = Array::new(seeded, ManagementMode::Autonomic).run(&trace);
+    assert_eq!(format!("{a}"), format!("{b}"));
+    assert_eq!(a.events_processed(), b.events_processed());
+    assert!(!b.fault_stats().any());
+}
+
+/// Same seed + same rates ⇒ identical faults ⇒ identical reports.
+/// A different seed must (for these rates) fault differently.
+#[test]
+fn nonzero_fault_runs_are_deterministic() {
+    let mut cfg = small();
+    cfg.faults = FaultConfig {
+        flash: FlashFaultProfile {
+            read_transient_prob: 0.02,
+            prog_fail_prob: 0.001,
+            erase_fail_prob: 0.001,
+        },
+        pcie: PcieFaultProfile {
+            corrupt_prob: 0.005,
+            replay_ns: 600,
+        },
+        seed: 7,
+        ..FaultConfig::default()
+    };
+    let trace = hot_read_trace(&cfg);
+    let a = Array::new(cfg, ManagementMode::Autonomic).run(&trace);
+    let b = Array::new(cfg, ManagementMode::Autonomic).run(&trace);
+    assert_eq!(format!("{a}"), format!("{b}"));
+    assert_eq!(a.fault_stats(), b.fault_stats());
+    assert!(a.fault_stats().any(), "rates this high must fault");
+
+    let mut other = cfg;
+    other.faults.seed = 8;
+    let c = Array::new(other, ManagementMode::Autonomic).run(&trace);
+    assert_ne!(
+        format!("{a}"),
+        format!("{c}"),
+        "different fault seeds should perturb the run"
+    );
+}
+
+/// Transient read faults burn die time and retry, but every request
+/// still completes and the ECC-retry count is visible in the report.
+#[test]
+fn transient_read_faults_retry_and_complete() {
+    let mut cfg = small();
+    cfg.faults.flash.read_transient_prob = 0.05;
+    cfg.faults.seed = 11;
+    let trace = hot_read_trace(&cfg);
+    let report = Array::new(cfg, ManagementMode::NonAutonomic).run(&trace);
+    assert_eq!(report.completed(), trace.len() as u64);
+    assert!(report.fault_stats().transient_read_faults > 0);
+    assert_eq!(report.fault_stats().unserviceable_reads, 0);
+}
+
+/// A Slowdown fault on a hot FIMM makes it a laggard: Eq. 3 detection
+/// must fire and reshaping move pages off the slow module.
+#[test]
+fn slowdown_fault_triggers_laggard_detection() {
+    let mut cfg = small();
+    cfg.faults = FaultConfig::default().with_fimm_event(FimmFaultEvent {
+        cluster: 0,
+        fimm: 0,
+        at_ns: 200_000,
+        kind: FimmFaultKind::Slowdown(8),
+    });
+    let trace = hot_read_trace(&cfg);
+
+    let faulty = Array::new(cfg, ManagementMode::Autonomic).run(&trace);
+    let mut clean_cfg = small();
+    clean_cfg.autonomic = cfg.autonomic;
+    let clean = Array::new(clean_cfg, ManagementMode::Autonomic).run(&trace);
+
+    assert_eq!(faulty.completed(), trace.len() as u64);
+    assert_eq!(faulty.fault_stats().fimm_slowdowns, 1);
+    assert!(
+        faulty.autonomic_stats().laggard_detections > clean.autonomic_stats().laggard_detections,
+        "slowdown x8 must add laggard detections: faulty {} vs clean {}",
+        faulty.autonomic_stats().laggard_detections,
+        clean.autonomic_stats().laggard_detections
+    );
+}
+
+/// Killing one FIMM mid-run degrades reads onto its siblings; the run
+/// still completes every request and the FTL metadata stays coherent.
+#[test]
+fn dead_fimm_degrades_reads_and_preserves_integrity() {
+    let mut cfg = small();
+    cfg.faults = FaultConfig::default().with_fimm_event(FimmFaultEvent {
+        cluster: 0,
+        fimm: 1,
+        at_ns: 500_000,
+        kind: FimmFaultKind::Dead,
+    });
+    let trace = hot_read_trace(&cfg);
+    let (report, integrity) = Array::new(cfg, ManagementMode::Autonomic).run_verified(&trace);
+    assert_eq!(report.completed(), trace.len() as u64);
+    assert_eq!(report.fault_stats().fimm_deaths, 1);
+    assert!(report.fault_stats().degraded_reads > 0);
+    integrity.expect("FTL metadata must stay coherent after a module death");
+}
+
+/// Program failures during relocation force migration rollback; the
+/// end-to-end integrity check proves no page was lost or duplicated,
+/// and the failed blocks are retired.
+#[test]
+fn program_failures_roll_back_migrations_without_losing_pages() {
+    let mut cfg = small();
+    cfg.faults.flash.prog_fail_prob = 0.01;
+    cfg.faults.seed = 5;
+    let trace = Microbench::read()
+        .hot_clusters(1)
+        .requests(8_000)
+        .gap_ns(1_300)
+        .build(&cfg, 37);
+    let (report, integrity) = Array::new(cfg, ManagementMode::Autonomic).run_verified(&trace);
+    assert_eq!(report.completed(), trace.len() as u64);
+    assert!(report.fault_stats().prog_failures > 0);
+    assert!(report.fault_stats().blocks_retired_by_fault > 0);
+    integrity.expect("no page lost or duplicated across fault rollbacks");
+}
+
+/// TLP corruption adds replay latency but never corrupts results: the
+/// run completes, replays are counted, and the run stays deterministic.
+#[test]
+fn pcie_corruption_replays_and_completes() {
+    let mut cfg = small();
+    cfg.faults.pcie = PcieFaultProfile {
+        corrupt_prob: 0.01,
+        replay_ns: 800,
+    };
+    cfg.faults.seed = 13;
+    let trace = hot_read_trace(&cfg);
+    let report = Array::new(cfg, ManagementMode::NonAutonomic).run(&trace);
+    assert_eq!(report.completed(), trace.len() as u64);
+    assert!(report.fault_stats().tlp_replays > 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Clone-then-unlink migration, aborted (or superseded by a host
+    /// overwrite) at every possible step: whatever combination of
+    /// prepare/abort/commit/overwrite happens per page, the map and the
+    /// block tables must stay a bijection — no page lost, none duplicated.
+    #[test]
+    fn migration_abort_at_every_step_loses_nothing(
+        n_pages in 1u64..48,
+        abort_mask in 0u64..u64::MAX,
+        overwrite_mask in 0u64..u64::MAX,
+    ) {
+        let shape = small().shape;
+        let mut ftl = Ftl::new(shape);
+        let src = ClusterId { switch: 0, index: 0 };
+        let dst = ClusterId { switch: 1, index: 2 };
+
+        // Seed every page with a real allocation on the source FIMM.
+        let lpns: Vec<LogicalPage> = (0..n_pages).map(|i| LogicalPage(i * 7)).collect();
+        for &l in &lpns {
+            ftl.write_alloc(l, Some((src, 0))).expect("seed write fits");
+        }
+
+        for (i, &l) in lpns.iter().enumerate() {
+            let old = ftl.locate(l);
+            let clone = ftl.migrate_prepare(l, dst, 1).expect("clone fits");
+            let overwritten = overwrite_mask >> (i % 64) & 1 == 1;
+            if overwritten {
+                // Host write lands mid-clone and supersedes the data.
+                ftl.write_alloc(l, Some((src, 0))).expect("overwrite fits");
+            }
+            if abort_mask >> (i % 64) & 1 == 1 {
+                // Copy failed mid-flight: roll back; mapping untouched.
+                prop_assert!(ftl.migrate_abort(l, clone));
+                prop_assert!(ftl.locate(l) != clone);
+            } else {
+                // Commit must refuse to clobber a newer host write.
+                let committed = ftl.migrate_commit(l, clone, old);
+                prop_assert_eq!(committed, !overwritten);
+                prop_assert_eq!(ftl.locate(l) == clone, !overwritten);
+            }
+        }
+
+        ftl.verify_integrity().expect("map <-> block tables stay a bijection");
+    }
+}

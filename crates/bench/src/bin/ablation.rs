@@ -1,95 +1,9 @@
-//! Ablation studies of Triple-A's design choices (beyond the paper's
-//! own figures; DESIGN.md documents the knobs):
-//!
-//! 1. migration granularity (1-page straggler data vs larger extents);
-//! 2. laggard-detection strategy (Eq. 3 latency monitoring vs queue
-//!    examination vs both);
-//! 3. hot-detection bus-utilization gate;
-//! 4. DFTL-style mapping-cache size (vs the full relocated-DRAM map);
-//! 5. wear-aware vs wear-blind migration-target tie-breaking.
-
-use triplea_bench::{bench_config, f1, f2, overload_gap_ns, print_table, REQUESTS};
-use triplea_core::{Array, ArrayConfig, LaggardStrategy, ManagementMode, RunReport};
-use triplea_workloads::Microbench;
-
-fn run(cfg: ArrayConfig) -> RunReport {
-    let gap = overload_gap_ns(&cfg, 4);
-    let trace = Microbench::read()
-        .hot_clusters(4)
-        .requests(REQUESTS)
-        .gap_ns(gap)
-        .build(&cfg, 0xAB1A);
-    Array::new(cfg, ManagementMode::Autonomic).run(&trace)
-}
-
-fn row(label: &str, r: &RunReport) -> Vec<String> {
-    vec![
-        label.to_string(),
-        format!("{:.0}K", r.iops() / 1e3),
-        f1(r.mean_latency_us()),
-        r.autonomic_stats().pages_migrated.to_string(),
-        r.autonomic_stats().pages_reshaped.to_string(),
-        f2(r.migration_write_overhead()),
-    ]
-}
+//! Ablation studies of Triple-A's design knobs (migration extent,
+//! laggard strategy, hot-bus gate, mapping cache, wear awareness, RC
+//! queue). Thin wrapper over the `ablation` experiment spec; `bench
+//! all` runs the same spec in parallel and persists
+//! `results/ablation.json`.
 
 fn main() {
-    let base_cfg = bench_config();
-    let mut rows = Vec::new();
-
-    for extent in [1u32, 4, 8, 16] {
-        let mut cfg = base_cfg;
-        cfg.autonomic.migration_extent_pages = extent;
-        let r = run(cfg);
-        rows.push(row(&format!("extent={extent}"), &r));
-    }
-    for (name, strat) in [
-        ("laggard=latency", LaggardStrategy::LatencyMonitoring),
-        ("laggard=queue", LaggardStrategy::QueueExamination),
-        ("laggard=both", LaggardStrategy::Both),
-    ] {
-        let mut cfg = base_cfg;
-        cfg.autonomic.laggard = strat;
-        rows.push(row(name, &run(cfg)));
-    }
-    for thresh in [0.5f64, 0.7, 0.9] {
-        let mut cfg = base_cfg;
-        cfg.autonomic.hot_bus_threshold = thresh;
-        rows.push(row(&format!("hot_bus={thresh}"), &run(cfg)));
-    }
-    for pages in [0usize, 256, 4_096] {
-        let mut cfg = base_cfg;
-        cfg.mapping_cache_pages = pages;
-        let label = if pages == 0 {
-            "map=full-DRAM".to_string()
-        } else {
-            format!("map=dftl-{pages}")
-        };
-        rows.push(row(&label, &run(cfg)));
-    }
-    for wear_aware in [true, false] {
-        let mut cfg = base_cfg;
-        cfg.autonomic.wear_aware = wear_aware;
-        rows.push(row(&format!("wear_aware={wear_aware}"), &run(cfg)));
-    }
-    // The paper's RC-queue range (650-1000 entries) bounds outstanding
-    // I/O array-wide.
-    for rc in [650usize, 800, 1_000] {
-        let mut cfg = base_cfg;
-        cfg.pcie.rc_queue = rc;
-        rows.push(row(&format!("rc_queue={rc}"), &run(cfg)));
-    }
-
-    print_table(
-        "Ablation: Triple-A design knobs (read micro-benchmark, 4 hot clusters)",
-        &[
-            "Variant",
-            "IOPS",
-            "Mean latency (us)",
-            "Pages migrated",
-            "Pages reshaped",
-            "Write overhead",
-        ],
-        &rows,
-    );
+    triplea_bench::experiments::run_and_print("ablation");
 }

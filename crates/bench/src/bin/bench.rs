@@ -1,0 +1,145 @@
+//! The suite driver: runs experiment specs through the parallel
+//! [`Runner`](triplea_bench::harness::Runner) and persists their
+//! artifacts (`results/<name>.json` + `results/<name>.txt`).
+//!
+//! ```text
+//! bench all [OPTIONS]          run every experiment
+//! bench <name>... [OPTIONS]    run a subset (see `bench list`)
+//! bench list                   print registered experiment names
+//!
+//! OPTIONS:
+//!   --scale <full|quick>    traffic per run           [default full]
+//!   --threads <N>           worker threads            [default: RAYON_NUM_THREADS or all cores]
+//!   --out <DIR>             artifact directory        [default results]
+//!   --compare-serial        after the parallel run, rerun on 1 thread
+//!                           and report the wall-clock ratio
+//! ```
+//!
+//! Artifacts are byte-deterministic: the same spec and scale produce
+//! identical `results/*.json` at any thread count (`tests/golden.rs`
+//! pins this down).
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use triplea_bench::experiments;
+use triplea_bench::harness::{run_suite_timed, write_artifacts, Runner, Scale};
+
+struct Opts {
+    targets: Vec<String>,
+    scale: Scale,
+    threads: usize,
+    out: PathBuf,
+    compare_serial: bool,
+}
+
+fn usage_and_exit(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\nusage: bench <all|list|NAME...> [--scale full|quick] [--threads N] [--out DIR] [--compare-serial]");
+    exit(2)
+}
+
+fn parse_opts() -> Opts {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage_and_exit("missing subcommand");
+    }
+    let mut o = Opts {
+        targets: Vec::new(),
+        scale: Scale::full(),
+        threads: 0,
+        out: PathBuf::from("results"),
+        compare_serial: false,
+    };
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i)
+            .unwrap_or_else(|| usage_and_exit("missing value for flag"))
+            .clone()
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                let v = value(&mut i);
+                o.scale = Scale::by_name(&v)
+                    .unwrap_or_else(|| usage_and_exit("--scale must be full or quick"));
+            }
+            "--threads" => {
+                o.threads = value(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| usage_and_exit("bad --threads"));
+            }
+            "--out" => o.out = PathBuf::from(value(&mut i)),
+            "--compare-serial" => o.compare_serial = true,
+            flag if flag.starts_with('-') => usage_and_exit(&format!("unknown flag {flag}")),
+            name => o.targets.push(name.to_string()),
+        }
+        i += 1;
+    }
+    if o.targets.is_empty() {
+        usage_and_exit("missing subcommand");
+    }
+    o
+}
+
+fn main() {
+    let o = parse_opts();
+    if o.targets == ["list"] {
+        for exp in experiments::all(Scale::quick()) {
+            println!("{:<12} {} ({} points)", exp.name, exp.title, exp.len());
+        }
+        return;
+    }
+
+    let suite = experiments::all(o.scale);
+    let selected: Vec<&_> = if o.targets == ["all"] {
+        suite.iter().collect()
+    } else {
+        // Preserve registry order (which golden snapshots and `all` use)
+        // regardless of the order names were given on the command line.
+        for name in &o.targets {
+            if !suite.iter().any(|e| e.name == name) {
+                usage_and_exit(&format!("unknown experiment {name:?}; run `bench list`"));
+            }
+        }
+        suite
+            .iter()
+            .filter(|e| o.targets.iter().any(|n| n == e.name))
+            .collect()
+    };
+
+    let runner = Runner::new().threads(o.threads);
+    let (results, timing) = run_suite_timed(&runner, &selected, o.scale);
+    for (exp, result) in selected.iter().zip(&results) {
+        let (json_path, txt_path) = write_artifacts(exp, result, &o.out)
+            .unwrap_or_else(|e| usage_and_exit(&format!("cannot write artifacts: {e}")));
+        println!(
+            "{:<12} {:>3} points -> {} + {}",
+            exp.name,
+            exp.len(),
+            json_path.display(),
+            txt_path.display()
+        );
+    }
+    println!(
+        "\n{} experiments / {} points in {:.1}s on {} thread(s)",
+        results.len(),
+        timing.points,
+        timing.secs,
+        timing.threads
+    );
+
+    if o.compare_serial {
+        let serial = Runner::new().threads(1);
+        let (serial_results, serial_timing) = run_suite_timed(&serial, &selected, o.scale);
+        assert_eq!(
+            serial_results, results,
+            "serial and parallel runs must produce identical results"
+        );
+        println!(
+            "serial rerun: {:.1}s on 1 thread -> speedup {:.2}x (results byte-identical)",
+            serial_timing.secs,
+            serial_timing.secs / timing.secs.max(1e-9)
+        );
+    }
+}

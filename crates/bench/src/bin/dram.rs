@@ -1,53 +1,7 @@
-//! §6.6 — effectiveness of DRAM relocation: sweep the per-cluster
-//! write-back buffer from queue-scale to DRAM-scale and measure how
-//! write bursts behave.
-//!
-//! Paper claim: relocating the SSDs' on-board DRAM to the management
-//! module preserves its caching function while the autonomic layer (not
-//! the DRAM) resolves link/storage contention. Expected shape: ack
-//! latency of bursty writes collapses once the buffer is DRAM-scale,
-//! while *read* contention (the autonomic layer's domain) is unaffected
-//! by buffer size.
-
-use triplea_bench::{bench_config, f1, print_table, REQUESTS};
-use triplea_core::{Array, ManagementMode};
-use triplea_workloads::Microbench;
+//! §6.6 DRAM relocation: write-burst ack latency vs per-cluster buffer
+//! size. Thin wrapper over the `dram` experiment spec; `bench all` runs
+//! the same spec in parallel and persists `results/dram.json`.
 
 fn main() {
-    let mut rows = Vec::new();
-    for buffer_pages in [64usize, 256, 1_024, 2_048, 8_192] {
-        let mut cfg = bench_config();
-        cfg.write_buffer_pages = buffer_pages;
-        // Bursty checkpoint-style writes into two clusters.
-        let trace = Microbench::write()
-            .hot_clusters(2)
-            .bursty(2_000_000, 6_000_000)
-            .gap_ns(1_200)
-            .requests(REQUESTS / 2)
-            .build(&cfg, 0xD7A);
-        let report = Array::new(cfg, ManagementMode::Autonomic).run(&trace);
-        rows.push(vec![
-            format!("{buffer_pages} pages ({} MB)", buffer_pages * 4 / 1024),
-            f1(report.mean_latency_us()),
-            f1(report.latency_percentile_us(0.99)),
-            f1(report.avg_storage_contention_us()),
-            report.autonomic_stats().write_redirects.to_string(),
-        ]);
-    }
-    print_table(
-        "DRAM relocation (§6.6): write-burst ack latency vs buffer size",
-        &[
-            "Write buffer per cluster",
-            "Ack mean (us)",
-            "Ack p99 (us)",
-            "Storage-cont. (us)",
-            "Write redirects",
-        ],
-        &rows,
-    );
-    println!(
-        "\npaper shape: DRAM-scale buffering absorbs bursts (acks near-instant);\n\
-         buffer size does not address link/storage contention itself — that\n\
-         remains the autonomic manager's job."
-    );
+    triplea_bench::experiments::run_and_print("dram");
 }

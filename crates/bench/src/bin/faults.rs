@@ -1,180 +1,9 @@
-//! Fault-injection sweep: how gracefully the array (baseline vs
-//! Triple-A autonomic management) degrades as deterministic faults are
-//! injected at each layer of the stack.
-//!
-//! Three axes:
-//!
-//! 1. NAND reliability — transient read faults (ECC retries) plus hard
-//!    program/erase failures that grow bad blocks and roll back
-//!    in-flight migrations;
-//! 2. whole-module events — one FIMM of the hot cluster slowing down
-//!    or dying mid-run (degraded reads, Eq. 3 laggard repair);
-//! 3. PCI-E TLP corruption — replay latency on every corrupted packet.
-//!
-//! Every run is seeded and deterministic: same binary, same output,
-//! byte for byte. FTL metadata integrity is verified end-to-end after
-//! every run — a lost or duplicated page aborts the bench.
-
-use triplea_bench::{bench_config, f1, f2, overload_gap_ns, print_table, REQUESTS};
-use triplea_core::{
-    Array, ArrayConfig, FaultConfig, FimmFaultEvent, FimmFaultKind, FlashFaultProfile,
-    ManagementMode, PcieFaultProfile, RunReport, Trace,
-};
-use triplea_workloads::Microbench;
-
-const SEED: u64 = 0xFA_017;
-
-fn hot_trace(cfg: &ArrayConfig) -> Trace {
-    Microbench::read()
-        .hot_clusters(2)
-        .requests(REQUESTS)
-        .gap_ns(overload_gap_ns(cfg, 2))
-        .build(cfg, SEED)
-}
-
-/// Runs one mode and hard-fails the bench if the FTL metadata lost or
-/// duplicated a page along the way.
-fn run_checked(cfg: ArrayConfig, mode: ManagementMode, trace: &Trace) -> RunReport {
-    let (report, integrity) = Array::new(cfg, mode).run_verified(trace);
-    integrity.expect("FTL integrity violated under fault injection");
-    report
-}
-
-fn flash_sweep(trace: &Trace) {
-    let mut rows = Vec::new();
-    for (label, transient, hard) in [
-        ("none", 0.0, 0.0),
-        ("light", 0.005, 0.0002),
-        ("moderate", 0.02, 0.001),
-        ("heavy", 0.05, 0.004),
-    ] {
-        let mut cfg = bench_config();
-        cfg.faults = FaultConfig {
-            flash: FlashFaultProfile {
-                read_transient_prob: transient,
-                prog_fail_prob: hard,
-                erase_fail_prob: hard,
-            },
-            seed: SEED,
-            ..FaultConfig::default()
-        };
-        let base = run_checked(cfg, ManagementMode::NonAutonomic, trace);
-        let aaa = run_checked(cfg, ManagementMode::Autonomic, trace);
-        let fs = aaa.fault_stats();
-        rows.push(vec![
-            label.to_string(),
-            format!("{:.0}K", base.iops() / 1e3),
-            format!("{:.0}K", aaa.iops() / 1e3),
-            f1(base.mean_latency_us()),
-            f1(aaa.mean_latency_us()),
-            fs.transient_read_faults.to_string(),
-            fs.blocks_retired_by_fault.to_string(),
-            fs.migration_rollbacks.to_string(),
-        ]);
-    }
-    print_table(
-        "NAND fault sweep: ECC retries + grown bad blocks (read-heavy, 2 hot clusters)",
-        &[
-            "Fault rate",
-            "Base IOPS",
-            "AAA IOPS",
-            "Base lat us",
-            "AAA lat us",
-            "ECC retries",
-            "Bad blocks",
-            "Mig rollbacks",
-        ],
-        &rows,
-    );
-}
-
-fn module_events(trace: &Trace) {
-    // Fire mid-run, on a FIMM of hot cluster 0.
-    let mid_ns = overload_gap_ns(&bench_config(), 2) * (REQUESTS as u64 / 2);
-    let mut rows = Vec::new();
-    for (label, kind) in [
-        ("healthy", None),
-        ("slowdown x4", Some(FimmFaultKind::Slowdown(4))),
-        ("dead", Some(FimmFaultKind::Dead)),
-    ] {
-        let mut cfg = bench_config();
-        if let Some(kind) = kind {
-            cfg.faults = FaultConfig::default().with_fimm_event(FimmFaultEvent {
-                cluster: 0,
-                fimm: 0,
-                at_ns: mid_ns,
-                kind,
-            });
-        }
-        let base = run_checked(cfg, ManagementMode::NonAutonomic, trace);
-        let aaa = run_checked(cfg, ManagementMode::Autonomic, trace);
-        let fs = aaa.fault_stats();
-        rows.push(vec![
-            label.to_string(),
-            f1(base.mean_latency_us()),
-            f1(aaa.mean_latency_us()),
-            f2(aaa.mean_latency_us() / base.mean_latency_us().max(1e-9)),
-            fs.degraded_reads.to_string(),
-            aaa.autonomic_stats().laggard_detections.to_string(),
-            aaa.autonomic_stats().pages_reshaped.to_string(),
-        ]);
-    }
-    print_table(
-        "Whole-module events at t=midpoint on the hot cluster",
-        &[
-            "Event",
-            "Base lat us",
-            "AAA lat us",
-            "AAA/Base",
-            "Degraded reads",
-            "Laggards",
-            "Pages reshaped",
-        ],
-        &rows,
-    );
-}
-
-fn pcie_sweep(trace: &Trace) {
-    let mut rows = Vec::new();
-    for (label, prob) in [("none", 0.0), ("1e-3", 0.001), ("1e-2", 0.01)] {
-        let mut cfg = bench_config();
-        cfg.faults.pcie = PcieFaultProfile {
-            corrupt_prob: prob,
-            replay_ns: 700,
-        };
-        cfg.faults.seed = SEED;
-        let aaa = run_checked(cfg, ManagementMode::Autonomic, trace);
-        rows.push(vec![
-            label.to_string(),
-            format!("{:.0}K", aaa.iops() / 1e3),
-            f1(aaa.mean_latency_us()),
-            f1(aaa.latency_percentile_us(99.0)),
-            aaa.fault_stats().tlp_replays.to_string(),
-        ]);
-    }
-    print_table(
-        "PCI-E TLP corruption sweep (replay = 700 ns per corrupted packet)",
-        &[
-            "Corrupt prob",
-            "IOPS",
-            "Mean lat us",
-            "p99 lat us",
-            "TLP replays",
-        ],
-        &rows,
-    );
-}
+//! Fault-injection sweep: NAND faults, whole-module events, and PCI-E
+//! TLP corruption under both management modes, with end-to-end FTL
+//! integrity checks. Thin wrapper over the `faults` experiment spec;
+//! `bench all` runs the same spec in parallel and persists
+//! `results/faults.json`.
 
 fn main() {
-    let cfg = bench_config();
-    let trace = hot_trace(&cfg);
-    flash_sweep(&trace);
-    println!();
-    module_events(&trace);
-    println!();
-    pcie_sweep(&trace);
-    println!(
-        "\nall runs seeded (seed {SEED:#x}) and integrity-checked: the same binary\n\
-         reproduces this output byte for byte."
-    );
+    triplea_bench::experiments::run_and_print("faults");
 }

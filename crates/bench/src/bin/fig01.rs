@@ -1,55 +1,8 @@
-//! Figure 1 (motivation): cumulative distribution function of request
-//! latency on the **non-autonomic** array as the number of hot regions
-//! grows.
-//!
-//! Paper shape: more hot regions ⇒ heavier tails; at 8 hot regions the
-//! paper reports 2.4× (link) and 6.5× (storage) degradation versus the
-//! uniform case.
-
-use triplea_bench::{bench_config, f1, overload_gap_ns, print_csv_series, print_table, REQUESTS};
-use triplea_core::{Array, ManagementMode};
-use triplea_workloads::Microbench;
+//! Figure 1 (motivation): latency CDF of the **non-autonomic** array as
+//! the number of hot regions grows. Thin wrapper over the `fig01`
+//! experiment spec (`triplea_bench::experiments::fig01`); `bench all`
+//! runs the same spec in parallel and persists `results/fig01.json`.
 
 fn main() {
-    let cfg = bench_config();
-    let mut rows = Vec::new();
-    let mut curves = Vec::new();
-    for hot in [0u32, 2, 4, 8] {
-        // Constant per-hot-cluster pressure AND constant run duration:
-        // request count scales with the number of hot regions.
-        let gap = overload_gap_ns(&cfg, hot.max(1));
-        let n = REQUESTS / 2 * hot.max(2) as usize;
-        let trace = Microbench::read()
-            .hot_clusters(hot)
-            .requests(n)
-            .gap_ns(gap)
-            .build(&cfg, 0x0F1);
-        let report = Array::new(cfg, ManagementMode::NonAutonomic).run(&trace);
-        rows.push(vec![
-            hot.to_string(),
-            f1(report.mean_latency_us()),
-            f1(report.latency_percentile_us(0.5)),
-            f1(report.latency_percentile_us(0.99)),
-            f1(report.avg_link_contention_us()),
-            f1(report.avg_storage_contention_us()),
-        ]);
-        let cdf = report.latency_cdf_us();
-        let step = (cdf.len() / 24).max(1);
-        for (us, frac) in cdf.into_iter().step_by(step) {
-            curves.push(vec![hot as f64, us, frac]);
-        }
-    }
-    print_table(
-        "Figure 1: latency vs number of hot regions (non-autonomic)",
-        &[
-            "Hot regions",
-            "Mean (us)",
-            "p50 (us)",
-            "p99 (us)",
-            "Link-cont. (us)",
-            "Storage-cont. (us)",
-        ],
-        &rows,
-    );
-    print_csv_series("fig01 CDFs", &["hot_regions", "latency_us", "cdf"], &curves);
+    triplea_bench::experiments::run_and_print("fig01");
 }

@@ -1,65 +1,8 @@
 //! Figure 9: latency and IOPS of Triple-A normalized to the
-//! non-autonomic all-flash array, across the enterprise and HPC
-//! workloads.
-//!
-//! Paper shape: ~5× lower average latency and ~2× IOPS on average;
-//! g-eigen the standout (≈98 % latency cut, 7.8× IOPS); cfs and web
-//! (no hot clusters) unchanged; websql's IOPS gain limited (~2×) because
-//! its hot clusters share one switch.
-
-use triplea_bench::{bench_config, enterprise_trace, f2, print_table, run_pair};
-use triplea_workloads::WorkloadProfile;
+//! non-autonomic array across the enterprise/HPC workloads. Thin
+//! wrapper over the `fig09` experiment spec; `bench all` runs the same
+//! spec in parallel and persists `results/fig09.json`.
 
 fn main() {
-    let cfg = bench_config();
-    let mut rows = Vec::new();
-    let mut lat_ratios = Vec::new();
-    let mut iops_ratios = Vec::new();
-    for profile in WorkloadProfile::table1() {
-        let trace = enterprise_trace(profile, &cfg, 0xF19);
-        let (base, aaa) = run_pair(cfg, &trace);
-        let lat_ratio = aaa.mean_latency_us() / base.mean_latency_us().max(1e-9);
-        let iops_ratio = aaa.iops() / base.iops().max(1e-9);
-        if !profile.is_uniform() {
-            lat_ratios.push(lat_ratio);
-            iops_ratios.push(iops_ratio);
-        }
-        rows.push(vec![
-            profile.name.to_string(),
-            f2(lat_ratio),
-            f2(iops_ratio),
-            format!("{:.0}", base.mean_latency_us()),
-            format!("{:.0}", aaa.mean_latency_us()),
-            format!("{:.0}K", base.iops() / 1e3),
-            format!("{:.0}K", aaa.iops() / 1e3),
-            format!("{}", aaa.autonomic_stats().migrations_started),
-        ]);
-    }
-    print_table(
-        "Figure 9: Triple-A normalized to non-autonomic baseline",
-        &[
-            "Workload",
-            "Norm. latency (lower=better)",
-            "Norm. IOPS (higher=better)",
-            "Base lat (us)",
-            "AAA lat (us)",
-            "Base IOPS",
-            "AAA IOPS",
-            "Migrations",
-        ],
-        &rows,
-    );
-    let gm_lat = geo_mean(&lat_ratios);
-    let gm_iops = geo_mean(&iops_ratios);
-    println!(
-        "\nhot-cluster workloads geometric mean: normalized latency {gm_lat:.2} \
-         (paper: ~0.2), normalized IOPS {gm_iops:.2} (paper: ~2.0)"
-    );
-}
-
-fn geo_mean(xs: &[f64]) -> f64 {
-    if xs.is_empty() {
-        return 0.0;
-    }
-    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+    triplea_bench::experiments::run_and_print("fig09");
 }

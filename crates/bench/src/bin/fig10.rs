@@ -1,63 +1,8 @@
-//! Figure 10: link-contention, storage-contention, and queue-stall times
-//! of Triple-A normalized to the non-autonomic baseline, per workload.
-//!
-//! Paper shape: link contention almost eliminated; storage contention
-//! reduced modestly (~15 %, because Triple-A reshapes within a cluster
-//! first); queue stalls cut ~85 %.
-
-use triplea_bench::{bench_config, enterprise_trace, f2, print_table, run_pair};
-use triplea_workloads::WorkloadProfile;
-
-fn norm(a: f64, b: f64) -> f64 {
-    if b <= 1e-9 {
-        1.0
-    } else {
-        a / b
-    }
-}
+//! Figure 10: contention and queue-stall times of Triple-A normalized
+//! to the non-autonomic baseline, per workload. Thin wrapper over the
+//! `fig10` experiment spec; `bench all` runs the same spec in parallel
+//! and persists `results/fig10.json`.
 
 fn main() {
-    let cfg = bench_config();
-    let mut rows = Vec::new();
-    let mut sums = [0.0f64; 3];
-    let mut n = 0usize;
-    for profile in WorkloadProfile::table1() {
-        let trace = enterprise_trace(profile, &cfg, 0xF10);
-        let (base, aaa) = run_pair(cfg, &trace);
-        let link = norm(aaa.avg_link_contention_us(), base.avg_link_contention_us());
-        let storage = norm(
-            aaa.avg_storage_contention_us(),
-            base.avg_storage_contention_us(),
-        );
-        let stall = norm(aaa.avg_queue_stall_us(), base.avg_queue_stall_us());
-        if !profile.is_uniform() {
-            sums[0] += link;
-            sums[1] += storage;
-            sums[2] += stall;
-            n += 1;
-        }
-        rows.push(vec![
-            profile.name.to_string(),
-            f2(link),
-            f2(storage),
-            f2(stall),
-        ]);
-    }
-    print_table(
-        "Figure 10: contention & stall times normalized to baseline (lower = better)",
-        &[
-            "Workload",
-            "Link contention",
-            "Storage contention",
-            "Queue stall",
-        ],
-        &rows,
-    );
-    println!(
-        "\nhot-workload means: link {:.2}, storage {:.2}, queue stall {:.2} \
-         (paper: link ≈0.1, storage ≈0.85, stall ≈0.15)",
-        sums[0] / n as f64,
-        sums[1] / n as f64,
-        sums[2] / n as f64,
-    );
+    triplea_bench::experiments::run_and_print("fig10");
 }

@@ -1,54 +1,7 @@
 //! Figure 11: per-workload latency CDFs on the non-autonomic array and
-//! Triple-A, for the six workloads the paper plots (mds, msnfs, proj,
-//! prxy, websql, g-eigen).
-//!
-//! Paper shape: Triple-A shortens the distribution across the board and
-//! cuts the long tail dramatically; msnfs improves least (its hot
-//! clusters are only mildly hot), websql improves latency but not IOPS
-//! (hot clusters share a switch).
-
-use triplea_bench::{bench_config, enterprise_trace, f1, print_csv_series, print_table, run_pair};
-use triplea_workloads::WorkloadProfile;
-
-const WORKLOADS: [&str; 6] = ["mds", "msnfs", "proj", "prxy", "websql", "g-eigen"];
+//! Triple-A. Thin wrapper over the `fig11` experiment spec; `bench all`
+//! runs the same spec in parallel and persists `results/fig11.json`.
 
 fn main() {
-    let cfg = bench_config();
-    let mut rows = Vec::new();
-    let mut curves = Vec::new();
-    for (w, name) in WORKLOADS.iter().enumerate() {
-        let profile = WorkloadProfile::by_name(name).expect("known workload");
-        let trace = enterprise_trace(&profile, &cfg, 0xF11);
-        let (base, aaa) = run_pair(cfg, &trace);
-        rows.push(vec![
-            name.to_string(),
-            f1(base.latency_percentile_us(0.5)),
-            f1(aaa.latency_percentile_us(0.5)),
-            f1(base.latency_percentile_us(0.99)),
-            f1(aaa.latency_percentile_us(0.99)),
-        ]);
-        for (mode, report) in [(0.0, &base), (1.0, &aaa)] {
-            let cdf = report.latency_cdf_us();
-            let step = (cdf.len() / 24).max(1);
-            for (us, frac) in cdf.into_iter().step_by(step) {
-                curves.push(vec![w as f64, mode, us, frac]);
-            }
-        }
-    }
-    print_table(
-        "Figure 11: latency percentiles, baseline vs Triple-A",
-        &[
-            "Workload",
-            "Base p50 (us)",
-            "AAA p50 (us)",
-            "Base p99 (us)",
-            "AAA p99 (us)",
-        ],
-        &rows,
-    );
-    print_csv_series(
-        "fig11 CDFs (workload index per WORKLOADS order; mode 0=base, 1=triple-a)",
-        &["workload", "mode", "latency_us", "cdf"],
-        &curves,
-    );
+    triplea_bench::experiments::run_and_print("fig11");
 }

@@ -1,46 +1,8 @@
-//! Figure 12: hot-cluster sensitivity — IOPS and latency of the `read`
-//! micro-benchmark as the number of hot clusters grows, on both arrays.
-//!
-//! Paper shape: the baseline's latency worsens as hot clusters multiply
-//! (more requests suffer contention); Triple-A holds latency roughly
-//! stable and its IOPS keeps improving with the offered load.
-
-use triplea_bench::{bench_config, f1, overload_gap_ns, print_table, run_pair, REQUESTS};
-use triplea_workloads::Microbench;
+//! Figure 12: hot-cluster sensitivity of the read micro-benchmark on
+//! both arrays. Thin wrapper over the `fig12` experiment spec; `bench
+//! all` runs the same spec in parallel and persists
+//! `results/fig12.json`.
 
 fn main() {
-    let cfg = bench_config();
-    let mut rows = Vec::new();
-    for hot in [1u32, 2, 4, 6, 8, 10, 12, 14] {
-        // Constant per-hot-cluster pressure and constant run duration:
-        // scale the request count with the number of hot clusters.
-        let gap = overload_gap_ns(&cfg, hot);
-        let n = REQUESTS * hot as usize;
-        let trace = Microbench::read()
-            .hot_clusters(hot)
-            .requests(n)
-            .gap_ns(gap)
-            .build(&cfg, 0xF12);
-        let (base, aaa) = run_pair(cfg, &trace);
-        rows.push(vec![
-            hot.to_string(),
-            format!("{:.0}K", base.iops() / 1e3),
-            format!("{:.0}K", aaa.iops() / 1e3),
-            f1(base.mean_latency_us()),
-            f1(aaa.mean_latency_us()),
-            format!("{:.2}", aaa.iops() / base.iops().max(1e-9)),
-        ]);
-    }
-    print_table(
-        "Figure 12: hot-cluster sensitivity (read micro-benchmark)",
-        &[
-            "Hot clusters",
-            "Base IOPS",
-            "AAA IOPS",
-            "Base latency (us)",
-            "AAA latency (us)",
-            "IOPS gain",
-        ],
-        &rows,
-    );
+    triplea_bench::experiments::run_and_print("fig12");
 }

@@ -1,43 +1,7 @@
-//! Figure 13: network-size sensitivity — IOPS and latency of Triple-A
-//! normalized to the baseline as the number of clusters per switch
-//! grows (4×8 … 4×20; 8 TB … 20 TB arrays).
-//!
-//! Paper shape: Triple-A's advantage grows with network size, because a
-//! wider switch offers more cold siblings to absorb the hot clusters'
-//! overflow.
-
-use triplea_bench::{bench_config, f2, overload_gap_ns, print_table, run_pair, REQUESTS};
-use triplea_workloads::Microbench;
+//! Figure 13: network-size sensitivity, normalized IOPS and latency.
+//! Thin wrapper over the `fig13` experiment spec; `bench all` runs the
+//! same spec in parallel and persists `results/fig13.json`.
 
 fn main() {
-    let mut rows = Vec::new();
-    for cps in [8u32, 12, 16, 20] {
-        let cfg = bench_config().with_clusters_per_switch(cps);
-        let gap = overload_gap_ns(&cfg, 4);
-        let trace = Microbench::read()
-            .hot_clusters(4)
-            .same_switch()
-            .requests(REQUESTS)
-            .gap_ns(gap)
-            .build(&cfg, 0xF13);
-        let (base, aaa) = run_pair(cfg, &trace);
-        rows.push(vec![
-            format!("4x{cps}"),
-            f2(aaa.iops() / base.iops().max(1e-9)),
-            f2(aaa.mean_latency_us() / base.mean_latency_us().max(1e-9)),
-            format!("{:.0}K", base.iops() / 1e3),
-            format!("{:.0}K", aaa.iops() / 1e3),
-        ]);
-    }
-    print_table(
-        "Figure 13: network-size sensitivity (normalized to baseline)",
-        &[
-            "Network",
-            "Norm. IOPS (higher=better)",
-            "Norm. latency (lower=better)",
-            "Base IOPS",
-            "AAA IOPS",
-        ],
-        &rows,
-    );
+    triplea_bench::experiments::run_and_print("fig13");
 }

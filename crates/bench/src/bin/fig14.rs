@@ -1,45 +1,7 @@
-//! Figure 14: link- and storage-contention times of Triple-A normalized
-//! to the baseline under varying network sizes.
-//!
-//! Paper shape: link contention is almost completely eliminated at every
-//! size; storage contention shrinks steadily as the network grows (it is
-//! bounded by the requests targeting each cluster, while link contention
-//! is not).
-
-use triplea_bench::{bench_config, f2, overload_gap_ns, print_table, run_pair, REQUESTS};
-use triplea_workloads::Microbench;
+//! Figure 14: link- and storage-contention times vs network size. Thin
+//! wrapper over the `fig14` experiment spec; `bench all` runs the same
+//! spec in parallel and persists `results/fig14.json`.
 
 fn main() {
-    let mut rows = Vec::new();
-    for cps in [8u32, 12, 16, 20] {
-        let cfg = bench_config().with_clusters_per_switch(cps);
-        let gap = overload_gap_ns(&cfg, 4);
-        let trace = Microbench::read()
-            .hot_clusters(4)
-            .same_switch()
-            .requests(REQUESTS)
-            .gap_ns(gap)
-            .build(&cfg, 0xF14);
-        let (base, aaa) = run_pair(cfg, &trace);
-        let link = aaa.avg_link_contention_us() / base.avg_link_contention_us().max(1e-9);
-        let storage = aaa.avg_storage_contention_us() / base.avg_storage_contention_us().max(1e-9);
-        rows.push(vec![
-            format!("4x{cps}"),
-            f2(link),
-            f2(storage),
-            format!("{:.1}", base.avg_link_contention_us()),
-            format!("{:.1}", aaa.avg_link_contention_us()),
-        ]);
-    }
-    print_table(
-        "Figure 14: contention times normalized to baseline vs network size",
-        &[
-            "Network",
-            "Norm. link contention",
-            "Norm. storage contention",
-            "Base link (us)",
-            "AAA link (us)",
-        ],
-        &rows,
-    );
+    triplea_bench::experiments::run_and_print("fig14");
 }

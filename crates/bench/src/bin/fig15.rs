@@ -1,55 +1,7 @@
-//! Figure 15: breakdown of average request time on both arrays under
-//! varying network sizes — queue stalls (RC, switch), direct link and
-//! storage waits, pure FIMM service, and network overhead.
-//!
-//! Paper shape: with Triple-A the stall components shrink as the network
-//! grows and all but vanish at the largest sizes, leaving FIMM service
-//! dominant.
-
-use triplea_bench::{bench_config, f1, overload_gap_ns, print_table, run_pair, REQUESTS};
-use triplea_core::RunReport;
-use triplea_workloads::Microbench;
-
-fn row(label: String, r: &RunReport) -> Vec<String> {
-    vec![
-        label,
-        f1(r.avg_rc_stall_us()),
-        f1(r.avg_switch_stall_us()),
-        f1(r.avg_direct_link_wait_us()),
-        f1(r.avg_direct_storage_wait_us()),
-        f1(r.avg_fimm_service_us()),
-        f1(r.avg_network_us()),
-        f1(r.mean_latency_us()),
-    ]
-}
+//! Figure 15: execution-time breakdown on both arrays vs network size.
+//! Thin wrapper over the `fig15` experiment spec; `bench all` runs the
+//! same spec in parallel and persists `results/fig15.json`.
 
 fn main() {
-    let mut rows = Vec::new();
-    for cps in [8u32, 12, 16, 20] {
-        let cfg = bench_config().with_clusters_per_switch(cps);
-        let gap = overload_gap_ns(&cfg, 4);
-        let trace = Microbench::read()
-            .hot_clusters(4)
-            .same_switch()
-            .requests(REQUESTS)
-            .gap_ns(gap)
-            .build(&cfg, 0xF15);
-        let (base, aaa) = run_pair(cfg, &trace);
-        rows.push(row(format!("4x{cps} baseline"), &base));
-        rows.push(row(format!("4x{cps} triple-a"), &aaa));
-    }
-    print_table(
-        "Figure 15: execution-time breakdown (all in us per request)",
-        &[
-            "Config",
-            "RC stall",
-            "Switch stall",
-            "Link wait",
-            "Storage wait",
-            "FIMM service",
-            "Network",
-            "Total mean",
-        ],
-        &rows,
-    );
+    triplea_bench::experiments::run_and_print("fig15");
 }

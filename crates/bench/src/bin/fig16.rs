@@ -1,59 +1,8 @@
-//! Figure 16: latency time-series of the `read` micro-benchmark under
-//! (a) the non-autonomic array, (b) Triple-A with *naive* data migration
-//! (re-reading migrated data from the hot cluster), and (c/d) Triple-A
-//! with shadow cloning.
-//!
-//! Paper shape: the baseline's series sits high; naive migration shows
-//! interference spikes while migrations run; shadow cloning removes most
-//! of that overhead, and the full Triple-A series settles far below the
-//! baseline once the layout has been reshaped.
-
-use triplea_bench::{bench_config, f1, overload_gap_ns, print_csv_series, print_table, REQUESTS};
-use triplea_core::{Array, ArrayConfig, ManagementMode, RunReport};
-use triplea_workloads::Microbench;
-
-fn run(cfg: ArrayConfig, mode: ManagementMode, naive: bool) -> RunReport {
-    let mut cfg = cfg.with_series(true);
-    cfg.autonomic.naive_migration = naive;
-    let gap = overload_gap_ns(&cfg, 4);
-    let trace = Microbench::read()
-        .hot_clusters(4)
-        .requests(REQUESTS)
-        .gap_ns(gap)
-        .build(&cfg, 0xF16);
-    Array::new(cfg, mode).run(&trace)
-}
+//! Figure 16: latency time-series under baseline, naive migration, and
+//! shadow cloning. Thin wrapper over the `fig16` experiment spec;
+//! `bench all` runs the same spec in parallel and persists
+//! `results/fig16.json`.
 
 fn main() {
-    let cfg = bench_config();
-    let runs = [
-        ("baseline", run(cfg, ManagementMode::NonAutonomic, false)),
-        ("naive-migration", run(cfg, ManagementMode::Autonomic, true)),
-        ("shadow-cloning", run(cfg, ManagementMode::Autonomic, false)),
-    ];
-
-    let mut rows = Vec::new();
-    let mut curves = Vec::new();
-    for (i, (name, report)) in runs.iter().enumerate() {
-        rows.push(vec![
-            name.to_string(),
-            f1(report.mean_latency_us()),
-            f1(report.latency_percentile_us(0.99)),
-            format!("{:.0}K", report.iops() / 1e3),
-            report.autonomic_stats().migrations_started.to_string(),
-        ]);
-        for (t, lat_us) in report.series().thin(150) {
-            curves.push(vec![i as f64, t.as_ms_f64(), lat_us]);
-        }
-    }
-    print_table(
-        "Figure 16: migration-overhead ablation",
-        &["Series", "Mean (us)", "p99 (us)", "IOPS", "Migrations"],
-        &rows,
-    );
-    print_csv_series(
-        "fig16 series (series: 0=baseline, 1=naive, 2=shadow)",
-        &["series", "submit_ms", "latency_us"],
-        &curves,
-    );
+    triplea_bench::experiments::run_and_print("fig16");
 }

@@ -1,165 +1,9 @@
-//! FTL design-space comparison (paper §4: the flash control logic "can
-//! be implemented in many different ways" — page mapping à la DFTL
-//! [ref. 19] vs hybrid log-block mapping à la FAST [ref. 29]).
-//!
-//! Replays identical overwrite streams through both translation schemes
-//! on one FIMM and reports write amplification, erases, and mapping-RAM
-//! footprint. Expected shape: the page-mapped FTL wins on write
-//! amplification (especially under random overwrites); the hybrid FTL
-//! wins on mapping footprint by orders of magnitude.
-
-use triplea_bench::{f1, f2, print_table};
-use triplea_core::ClusterId;
-use triplea_flash::FlashGeometry;
-use triplea_ftl::{ArrayShape, Ftl, GcPolicy, HybridFtl, LogicalPage};
-use triplea_pcie::Topology;
-use triplea_sim::SplitMix64;
-use triplea_workloads::Zipfian;
-
-/// One-FIMM shape for the page-mapped FTL.
-fn fimm_shape(geom: FlashGeometry) -> ArrayShape {
-    ArrayShape {
-        topology: Topology {
-            switches: 1,
-            clusters_per_switch: 1,
-        },
-        fimms_per_cluster: 1,
-        packages_per_fimm: 1,
-        flash: geom,
-    }
-}
-
-/// Drives the page-mapped FTL with GC exactly as the array does.
-fn run_page_mapped(geom: FlashGeometry, stream: &[u64]) -> (f64, u64, usize) {
-    run_page_mapped_with(geom, stream, GcPolicy::Greedy)
-}
-
-fn run_page_mapped_with(
-    geom: FlashGeometry,
-    stream: &[u64],
-    policy: GcPolicy,
-) -> (f64, u64, usize) {
-    let shape = fimm_shape(geom);
-    let mut ftl = Ftl::new(shape);
-    ftl.set_gc_policy(policy);
-    let cluster = ClusterId::default();
-    for &lpn in stream {
-        // Proactive GC, as the array does: reclaim while spare blocks
-        // remain so rewrites always have somewhere to land.
-        while ftl.needs_gc(cluster, 0, 4) {
-            let Some(work) = ftl.gc_pick(cluster, 0) else {
-                break;
-            };
-            for l in work.valid.clone() {
-                ftl.gc_rewrite(l, &work).expect("spare blocks reserved");
-            }
-            ftl.gc_finish(&work);
-        }
-        ftl.write_alloc(LogicalPage(lpn), Some((cluster, 0)))
-            .expect("write fits after proactive GC");
-    }
-    let s = ftl.stats();
-    let wa = (s.host_writes + s.gc_writes) as f64 / s.host_writes as f64;
-    // Page-mapped footprint: one entry per written logical page.
-    let footprint = ftl.page_map().override_count();
-    (wa, s.gc_erases, footprint)
-}
-
-fn run_hybrid(geom: FlashGeometry, log_blocks: usize, stream: &[u64]) -> (f64, u64, usize) {
-    let mut ftl = HybridFtl::new(geom, 1, log_blocks);
-    for &lpn in stream {
-        ftl.write(lpn);
-    }
-    let s = ftl.stats();
-    (s.write_amplification(), s.erases, ftl.mapping_entries())
-}
+//! FTL design-space comparison: page-mapped (DFTL-class) vs hybrid
+//! log-block (FAST-class) translation, plus GC victim-selection policy.
+//! Thin wrapper over the `ftl_compare` experiment spec; `bench all`
+//! runs the same spec in parallel and persists
+//! `results/ftl_compare.json`.
 
 fn main() {
-    let geom = FlashGeometry {
-        dies: 2,
-        planes: 2,
-        blocks_per_plane: 256,
-        pages_per_block: 64,
-        page_size: 4096,
-        endurance: 100_000,
-    };
-    // Working set = 85% of the FIMM, overwritten 4x: high utilisation is
-    // where GC policy and mapping scheme genuinely separate.
-    let span = geom.total_pages() * 85 / 100;
-    let n = (span * 4) as usize;
-    let mut rng = SplitMix64::new(0xF71);
-    let zipf = Zipfian::new(span, 0.99);
-
-    let streams: Vec<(&str, Vec<u64>)> = vec![
-        ("sequential", (0..n as u64).map(|i| i % span).collect()),
-        (
-            "uniform-random",
-            (0..n).map(|_| rng.next_below(span)).collect(),
-        ),
-        ("zipf-0.99", (0..n).map(|_| zipf.sample(&mut rng)).collect()),
-    ];
-
-    let mut rows = Vec::new();
-    for (name, stream) in &streams {
-        let (wa_p, er_p, fp_p) = run_page_mapped(geom, stream);
-        let (wa_h, er_h, fp_h) = run_hybrid(geom, 32, stream);
-        rows.push(vec![
-            name.to_string(),
-            f2(wa_p),
-            f2(wa_h),
-            er_p.to_string(),
-            er_h.to_string(),
-            fp_p.to_string(),
-            fp_h.to_string(),
-            f1(fp_p as f64 / fp_h.max(1) as f64),
-        ]);
-    }
-    print_table(
-        "FTL design space: page-mapped (DFTL-class) vs hybrid log-block (FAST-class)",
-        &[
-            "Stream",
-            "WA page-mapped",
-            "WA hybrid",
-            "Erases page",
-            "Erases hybrid",
-            "Map entries page",
-            "Map entries hybrid",
-            "RAM ratio",
-        ],
-        &rows,
-    );
-    println!(
-        "\nexpected shape: hybrid needs ~pages-per-block x less mapping RAM but\n\
-         amplifies random overwrites far more; page-mapped WA stays near the\n\
-         utilisation-driven GC bound."
-    );
-
-    // Second axis: GC victim-selection policy on the page-mapped FTL.
-    let mut rows = Vec::new();
-    for (name, policy) in [
-        ("greedy", GcPolicy::Greedy),
-        ("cost-benefit", GcPolicy::CostBenefit),
-        ("fifo", GcPolicy::Fifo),
-    ] {
-        let mut cells = vec![name.to_string()];
-        for (_, stream) in &streams {
-            let (wa, erases, _) = run_page_mapped_with(geom, stream, policy);
-            cells.push(f2(wa));
-            cells.push(erases.to_string());
-        }
-        rows.push(cells);
-    }
-    print_table(
-        "GC victim selection (page-mapped FTL): WA / erases per stream",
-        &[
-            "Policy",
-            "WA seq",
-            "Erases seq",
-            "WA random",
-            "Erases random",
-            "WA zipf",
-            "Erases zipf",
-        ],
-        &rows,
-    );
+    triplea_bench::experiments::run_and_print("ftl_compare");
 }

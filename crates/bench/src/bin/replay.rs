@@ -22,9 +22,11 @@
 
 use std::fs::File;
 use std::process::exit;
+use std::sync::Arc;
 
-use triplea_bench::{enterprise_trace, f1, print_table, profile_gap_ns, HOT_REGION_PAGES};
-use triplea_core::{Array, ArrayConfig, ManagementMode, RunReport, Trace};
+use triplea_bench::harness::{jf, ju, report_json, Experiment, Runner, Scale};
+use triplea_bench::{enterprise_trace, f1, profile_gap_ns, HOT_REGION_PAGES};
+use triplea_core::{Array, ArrayConfig, ManagementMode, Trace};
 use triplea_flash::FlashTiming;
 use triplea_workloads::{csv, ProfileTrace, WorkloadProfile};
 
@@ -101,19 +103,6 @@ fn parse_opts() -> Opts {
     o
 }
 
-fn report_row(label: &str, r: &RunReport) -> Vec<String> {
-    vec![
-        label.to_string(),
-        r.completed().to_string(),
-        format!("{:.0}", r.iops()),
-        f1(r.mean_latency_us()),
-        f1(r.latency_percentile_us(0.99)),
-        f1(r.avg_link_contention_us()),
-        f1(r.avg_storage_contention_us()),
-        r.autonomic_stats().migrations_started.to_string(),
-    ]
-}
-
 fn main() {
     let o = parse_opts();
     let mut cfg = ArrayConfig::paper_baseline().with_clusters_per_switch(o.cps);
@@ -159,35 +148,65 @@ fn main() {
         println!("wrote {} records to {path}", trace.len());
     }
 
-    let mut rows = Vec::new();
-    if o.mode == "both" || o.mode == "base" {
-        let r = Array::new(cfg, ManagementMode::NonAutonomic).run(&trace);
-        rows.push(report_row("non-autonomic", &r));
-    }
-    if o.mode == "both" || o.mode == "aaa" {
-        let r = Array::new(cfg, ManagementMode::Autonomic).run(&trace);
-        rows.push(report_row("triple-a", &r));
-    }
-    if rows.is_empty() {
-        usage_and_exit("--mode must be both, aaa, or base");
-    }
-    print_table(
-        &format!(
-            "replay: {} ({} requests, 4x{} array)",
-            o.csv.as_deref().unwrap_or(&o.workload),
-            trace.len(),
-            o.cps
-        ),
-        &[
-            "Mode",
-            "Completed",
-            "IOPS",
-            "Mean (us)",
-            "p99 (us)",
-            "Link-cont. (us)",
-            "Storage-cont. (us)",
-            "Migrations",
+    // The two management modes are independent runs: drive them through
+    // the experiment harness so they execute in parallel.
+    let modes: Vec<(&str, ManagementMode)> = match o.mode.as_str() {
+        "both" => vec![
+            ("non-autonomic", ManagementMode::NonAutonomic),
+            ("triple-a", ManagementMode::Autonomic),
         ],
-        &rows,
+        "base" => vec![("non-autonomic", ManagementMode::NonAutonomic)],
+        "aaa" => vec![("triple-a", ManagementMode::Autonomic)],
+        _ => usage_and_exit("--mode must be both, aaa, or base"),
+    };
+    let title = format!(
+        "replay: {} ({} requests, 4x{} array)",
+        o.csv.as_deref().unwrap_or(&o.workload),
+        trace.len(),
+        o.cps
     );
+    let title: &'static str = Box::leak(title.into_boxed_str());
+    let trace = Arc::new(trace);
+    let mut exp = Experiment::new("replay", title);
+    for (label, mode) in modes {
+        let trace = Arc::clone(&trace);
+        exp.point(label, move |_| {
+            report_json(&Array::new(cfg, mode).run(&trace))
+        });
+    }
+    exp.renderer(|res| {
+        let rows: Vec<Vec<String>> = res
+            .points
+            .iter()
+            .map(|p| {
+                let d = &p.data;
+                vec![
+                    p.label.clone(),
+                    ju(d, "completed").to_string(),
+                    format!("{:.0}", jf(d, "iops")),
+                    f1(jf(d, "mean_latency_us")),
+                    f1(jf(d, "p99_us")),
+                    f1(jf(d, "link_contention_us")),
+                    f1(jf(d, "storage_contention_us")),
+                    ju(d, "autonomic.migrations_started").to_string(),
+                ]
+            })
+            .collect();
+        triplea_bench::harness::fmt_table(
+            &res.title,
+            &[
+                "Mode",
+                "Completed",
+                "IOPS",
+                "Mean (us)",
+                "p99 (us)",
+                "Link-cont. (us)",
+                "Storage-cont. (us)",
+                "Migrations",
+            ],
+            &rows,
+        )
+    });
+    let result = Runner::new().run(&exp, Scale::full());
+    print!("{}", exp.render(&result));
 }

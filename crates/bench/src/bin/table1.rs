@@ -1,46 +1,7 @@
-//! Table 1: workload characteristics — the paper's reported values
-//! versus what our synthetic traces actually exhibit on the 4×16 array.
-
-use triplea_bench::{bench_config, enterprise_trace, f1, f3, print_table};
-use triplea_workloads::{analyze, WorkloadProfile};
+//! Table 1: workload characteristics, paper vs measured synthetic
+//! traces. Thin wrapper over the `table1` experiment spec; `bench all`
+//! runs the same spec in parallel and persists `results/table1.json`.
 
 fn main() {
-    let cfg = bench_config();
-    let mut rows = Vec::new();
-    for profile in WorkloadProfile::table1() {
-        let trace = enterprise_trace(profile, &cfg, 0x7AB1);
-        let stats = analyze(&trace, &cfg.shape);
-        rows.push(vec![
-            profile.name.to_string(),
-            format!(
-                "{} / {}",
-                f1(profile.read_ratio * 100.0),
-                f1(stats.read_ratio * 100.0)
-            ),
-            format!(
-                "{} / {}",
-                f1(profile.read_randomness * 100.0),
-                f1(stats.read_randomness * 100.0)
-            ),
-            format!(
-                "{} / {}",
-                f1(profile.write_randomness * 100.0),
-                f1(stats.write_randomness * 100.0)
-            ),
-            format!("{} / {}", profile.hot_clusters, stats.hot_clusters),
-            format!("{} / {}", f3(profile.hot_io_ratio), f3(stats.hot_io_ratio)),
-        ]);
-    }
-    print_table(
-        "Table 1: workload characteristics (paper / measured on synthetic trace)",
-        &[
-            "Workload",
-            "Read %",
-            "Read rand %",
-            "Write rand %",
-            "# hot clusters",
-            "I/O ratio on hot",
-        ],
-        &rows,
-    );
+    triplea_bench::experiments::run_and_print("table1");
 }

@@ -1,44 +1,8 @@
-//! Table 2: absolute performance metrics of the 4×16 **non-autonomic**
-//! all-flash array under the eleven enterprise workloads.
-//!
-//! Columns mirror the paper: average latency, IOPS, average
-//! link-contention time, average storage-contention time, and average
-//! queue-stall time.
-
-use triplea_bench::{bench_config, enterprise_trace, f1, print_table};
-use triplea_core::{Array, ManagementMode};
-use triplea_workloads::WorkloadProfile;
+//! Table 2: absolute metrics of the non-autonomic 4×16 array under the
+//! enterprise workloads. Thin wrapper over the `table2` experiment
+//! spec; `bench all` runs the same spec in parallel and persists
+//! `results/table2.json`.
 
 fn main() {
-    let cfg = bench_config();
-    let mut rows = Vec::new();
-    for profile in WorkloadProfile::enterprise() {
-        let trace = enterprise_trace(profile, &cfg, 0xBEEF);
-        let report = Array::new(cfg, ManagementMode::NonAutonomic).run(&trace);
-        rows.push(vec![
-            profile.name.to_string(),
-            f1(report.mean_latency_us()),
-            format!("{:.0}K", report.iops() / 1_000.0),
-            f1(report.avg_link_contention_us()),
-            f1(report.avg_storage_contention_us()),
-            f1(report.avg_queue_stall_us()),
-        ]);
-    }
-    print_table(
-        "Table 2: non-autonomic 4x16 all-flash array, absolute metrics",
-        &[
-            "Workload",
-            "Avg latency (us)",
-            "IOPS",
-            "Avg link-cont. (us)",
-            "Avg storage-cont. (us)",
-            "Avg queue stall (us)",
-        ],
-        &rows,
-    );
-    println!(
-        "\npaper shape: ms-scale latencies on hot-clustered workloads; \
-         link contention dominating storage contention for read-heavy \
-         workloads; cfs/web (no hot clusters) far below the rest."
-    );
+    triplea_bench::experiments::run_and_print("table2");
 }

@@ -1,54 +1,7 @@
-//! §6.5 wear-out analysis: extra writes induced by autonomic data
-//! migration and the resulting flash-lifetime reduction.
-//!
-//! Paper shape: in the worst case migration adds ~34 % extra writes,
-//! i.e. ~23 % lifetime reduction — a trade the paper accepts because
-//! unboxing SSDs cuts array cost by ~50 %.
-
-use triplea_bench::{bench_config, enterprise_trace, f1, print_table, run_pair};
-use triplea_workloads::WorkloadProfile;
+//! §6.5 wear-out analysis: extra writes induced by autonomic migration.
+//! Thin wrapper over the `wearout` experiment spec; `bench all` runs
+//! the same spec in parallel and persists `results/wearout.json`.
 
 fn main() {
-    let cfg = bench_config();
-    let mut rows = Vec::new();
-    let mut worst = 0.0f64;
-    for profile in WorkloadProfile::table1() {
-        if profile.read_ratio >= 1.0 {
-            continue; // no host writes: overhead ratio undefined
-        }
-        let trace = enterprise_trace(profile, &cfg, 0x3EA);
-        let (_, aaa) = run_pair(cfg, &trace);
-        let stats = aaa.ftl_stats();
-        let overhead = aaa.migration_write_overhead();
-        let lifetime_loss = overhead / (1.0 + overhead);
-        worst = worst.max(overhead);
-        rows.push(vec![
-            profile.name.to_string(),
-            stats.host_writes.to_string(),
-            stats.migration_writes.to_string(),
-            stats.gc_writes.to_string(),
-            f1(overhead * 100.0),
-            f1(lifetime_loss * 100.0),
-            format!("{:.4}", aaa.wear().mean_erase_count),
-        ]);
-    }
-    print_table(
-        "Wear-out: extra writes from autonomic migration (paper worst case: +34% writes, -23% lifetime)",
-        &[
-            "Workload",
-            "Host writes",
-            "Migration writes",
-            "GC writes",
-            "Extra writes (%)",
-            "Lifetime loss (%)",
-            "Mean erase count",
-        ],
-        &rows,
-    );
-    println!(
-        "\nworst case measured: +{:.0}% writes => -{:.0}% lifetime \
-         (offset by the ~50% cost reduction of unboxing, §6.5)",
-        worst * 100.0,
-        worst / (1.0 + worst) * 100.0
-    );
+    triplea_bench::experiments::run_and_print("wearout");
 }

@@ -1,0 +1,61 @@
+//! Figure 12: hot-cluster sensitivity — IOPS and latency of the `read`
+//! micro-benchmark as the number of hot clusters grows, on both arrays.
+
+use crate::experiments::{kiops, pair_json, ratio};
+use crate::harness::{jf, ju, obj, uint, Experiment, Scale};
+use crate::{bench_config, f1, f2, overload_gap_ns};
+use triplea_workloads::Microbench;
+
+/// Builds the Figure 12 experiment: one point per hot-cluster count.
+pub fn spec(scale: Scale) -> Experiment {
+    let mut e = Experiment::new(
+        "fig12",
+        "Figure 12: hot-cluster sensitivity (read micro-benchmark)",
+    );
+    for hot in [1u32, 2, 4, 6, 8, 10, 12, 14] {
+        e.point(format!("hot={hot}"), move |ctx| {
+            let cfg = bench_config();
+            // Constant per-hot-cluster pressure and constant run
+            // duration: scale the request count with the hot count.
+            let gap = overload_gap_ns(&cfg, hot);
+            let n = scale.requests * hot as usize;
+            let trace = Microbench::read()
+                .hot_clusters(hot)
+                .requests(n)
+                .gap_ns(gap)
+                .build(&cfg, ctx.base_seed);
+            let (base, aaa) = pair_json(cfg, &trace);
+            obj([("hot", uint(hot as u64)), ("base", base), ("aaa", aaa)])
+        });
+    }
+    e.renderer(|res| {
+        let rows: Vec<Vec<String>> = res
+            .points
+            .iter()
+            .map(|p| {
+                let d = &p.data;
+                vec![
+                    ju(d, "hot").to_string(),
+                    kiops(jf(d, "base.iops")),
+                    kiops(jf(d, "aaa.iops")),
+                    f1(jf(d, "base.mean_latency_us")),
+                    f1(jf(d, "aaa.mean_latency_us")),
+                    f2(ratio(jf(d, "aaa.iops"), jf(d, "base.iops"))),
+                ]
+            })
+            .collect();
+        crate::harness::fmt_table(
+            &res.title,
+            &[
+                "Hot clusters",
+                "Base IOPS",
+                "AAA IOPS",
+                "Base latency (us)",
+                "AAA latency (us)",
+                "IOPS gain",
+            ],
+            &rows,
+        )
+    });
+    e
+}

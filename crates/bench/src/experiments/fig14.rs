@@ -1,0 +1,58 @@
+//! Figure 14: link- and storage-contention times of Triple-A normalized
+//! to the baseline under varying network sizes.
+
+use crate::experiments::{netsize_pair, ratio};
+use crate::harness::{jf, obj, text, Experiment, Scale};
+use crate::{f1, f2};
+
+/// Builds the Figure 14 experiment: one point per network width.
+pub fn spec(scale: Scale) -> Experiment {
+    let mut e = Experiment::new(
+        "fig14",
+        "Figure 14: contention times normalized to baseline vs network size",
+    );
+    for cps in [8u32, 12, 16, 20] {
+        e.point(format!("4x{cps}"), move |ctx| {
+            let (base, aaa) = netsize_pair(cps, ctx.base_seed, scale.requests);
+            obj([
+                ("network", text(&format!("4x{cps}"))),
+                ("base", base),
+                ("aaa", aaa),
+            ])
+        });
+    }
+    e.renderer(|res| {
+        let rows: Vec<Vec<String>> = res
+            .points
+            .iter()
+            .map(|p| {
+                let d = &p.data;
+                vec![
+                    p.label.clone(),
+                    f2(ratio(
+                        jf(d, "aaa.link_contention_us"),
+                        jf(d, "base.link_contention_us"),
+                    )),
+                    f2(ratio(
+                        jf(d, "aaa.storage_contention_us"),
+                        jf(d, "base.storage_contention_us"),
+                    )),
+                    f1(jf(d, "base.link_contention_us")),
+                    f1(jf(d, "aaa.link_contention_us")),
+                ]
+            })
+            .collect();
+        crate::harness::fmt_table(
+            &res.title,
+            &[
+                "Network",
+                "Norm. link contention",
+                "Norm. storage contention",
+                "Base link (us)",
+                "AAA link (us)",
+            ],
+            &rows,
+        )
+    });
+    e
+}

@@ -1,0 +1,64 @@
+//! Table 2: absolute performance metrics of the 4×16 **non-autonomic**
+//! all-flash array under the eleven enterprise workloads.
+
+use crate::experiments::kiops;
+use crate::harness::{jf, obj, report_json, text, Experiment, Scale};
+use crate::{bench_config, enterprise_trace_n, f1};
+use triplea_core::{Array, ManagementMode};
+use triplea_workloads::WorkloadProfile;
+
+/// Builds the Table 2 experiment: one point per enterprise workload.
+pub fn spec(scale: Scale) -> Experiment {
+    let mut e = Experiment::new(
+        "table2",
+        "Table 2: non-autonomic 4x16 all-flash array, absolute metrics",
+    );
+    for profile in WorkloadProfile::enterprise() {
+        let profile = *profile;
+        e.point(profile.name, move |ctx| {
+            let cfg = bench_config();
+            let trace = enterprise_trace_n(&profile, &cfg, ctx.seed, scale.requests);
+            let report = Array::new(cfg, ManagementMode::NonAutonomic).run(&trace);
+            obj([
+                ("workload", text(profile.name)),
+                ("base", report_json(&report)),
+            ])
+        });
+    }
+    e.renderer(|res| {
+        let rows: Vec<Vec<String>> = res
+            .points
+            .iter()
+            .map(|p| {
+                let d = &p.data;
+                vec![
+                    p.label.clone(),
+                    f1(jf(d, "base.mean_latency_us")),
+                    kiops(jf(d, "base.iops")),
+                    f1(jf(d, "base.link_contention_us")),
+                    f1(jf(d, "base.storage_contention_us")),
+                    f1(jf(d, "base.queue_stall_us")),
+                ]
+            })
+            .collect();
+        let mut out = crate::harness::fmt_table(
+            &res.title,
+            &[
+                "Workload",
+                "Avg latency (us)",
+                "IOPS",
+                "Avg link-cont. (us)",
+                "Avg storage-cont. (us)",
+                "Avg queue stall (us)",
+            ],
+            &rows,
+        );
+        out.push_str(
+            "\npaper shape: ms-scale latencies on hot-clustered workloads; \
+             link contention dominating storage contention for read-heavy \
+             workloads; cfs/web (no hot clusters) far below the rest.\n",
+        );
+        out
+    });
+    e
+}

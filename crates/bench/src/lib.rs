@@ -17,6 +17,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod experiments;
+pub mod harness;
+
 use triplea_core::{Array, ArrayConfig, ManagementMode, RunReport, Trace};
 
 /// The array configuration all experiments run on: the paper's 4×16,
@@ -58,14 +61,26 @@ pub fn profile_gap_ns(profile: &triplea_workloads::WorkloadProfile, cfg: &ArrayC
     (1_000_000_000.0 / offered) as u64
 }
 
-/// Builds the standard enterprise/HPC trace for a profile.
+/// Builds the standard enterprise/HPC trace for a profile at the full
+/// paper scale ([`REQUESTS`]).
 pub fn enterprise_trace(
     profile: &triplea_workloads::WorkloadProfile,
     cfg: &ArrayConfig,
     seed: u64,
 ) -> Trace {
+    enterprise_trace_n(profile, cfg, seed, REQUESTS)
+}
+
+/// Builds the standard enterprise/HPC trace for a profile with an
+/// explicit request count (the harness's [`harness::Scale`] knob).
+pub fn enterprise_trace_n(
+    profile: &triplea_workloads::WorkloadProfile,
+    cfg: &ArrayConfig,
+    seed: u64,
+    requests: usize,
+) -> Trace {
     triplea_workloads::ProfileTrace::new(*profile)
-        .requests(REQUESTS)
+        .requests(requests)
         .gap_ns(profile_gap_ns(profile, cfg))
         .hot_region_pages(HOT_REGION_PAGES)
         .build(cfg, seed)
@@ -78,27 +93,15 @@ pub fn run_pair(cfg: ArrayConfig, trace: &Trace) -> (RunReport, RunReport) {
     (base, aaa)
 }
 
-/// Prints a Markdown table.
+/// Prints a Markdown table (see [`harness::fmt_table`]).
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
-    println!("\n## {title}\n");
-    println!("| {} |", headers.join(" | "));
-    println!(
-        "|{}|",
-        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
-    );
-    for row in rows {
-        println!("| {} |", row.join(" | "));
-    }
+    print!("{}", harness::fmt_table(title, headers, rows));
 }
 
-/// Prints `(x, y)` series as CSV with a comment header.
+/// Prints `(x, y)` series as CSV with a comment header (see
+/// [`harness::fmt_csv_series`]).
 pub fn print_csv_series(name: &str, columns: &[&str], rows: &[Vec<f64>]) {
-    println!("\n# {name}");
-    println!("{}", columns.join(","));
-    for row in rows {
-        let cells: Vec<String> = row.iter().map(|v| format!("{v:.4}")).collect();
-        println!("{}", cells.join(","));
-    }
+    print!("{}", harness::fmt_csv_series(name, columns, rows));
 }
 
 /// Formats a float with 1 decimal.

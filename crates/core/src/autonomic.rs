@@ -14,6 +14,7 @@ use crate::config::AutonomicParams;
 
 /// Activity counters of the autonomic management module.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize)]
 pub struct AutonomicStats {
     /// Eq. 1 hot-cluster detections.
     pub hot_detections: u64,

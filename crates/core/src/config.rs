@@ -8,6 +8,7 @@ use triplea_sim::Nanos;
 
 /// Whether the array runs the autonomic management module.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(serde::Serialize, serde::Deserialize)]
 pub enum ManagementMode {
     /// The paper's baseline: no contention detection, static layout.
     NonAutonomic,

@@ -14,6 +14,7 @@ use crate::request::Breakdown;
 /// All-zero (see [`FaultStats::any`]) whenever the configured
 /// [`FaultConfig`](crate::FaultConfig) is quiet.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize)]
 pub struct FaultStats {
     /// Read commands that failed ECC and were re-issued (flash layer).
     pub transient_read_faults: u64,
@@ -51,7 +52,7 @@ impl FaultStats {
 
 /// Everything measured during a run; the benchmark harness derives every
 /// table row and figure series from this.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct RunReport {
     pub(crate) mode: ManagementMode,
     pub(crate) completed: u64,

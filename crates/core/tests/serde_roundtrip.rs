@@ -1,0 +1,68 @@
+//! A [`RunReport`] must survive JSON serialization losslessly: the
+//! experiment harness persists reports into `results/*.json` and the
+//! golden-snapshot suite compares those artifacts byte-for-byte.
+
+use triplea_core::{Array, ArrayConfig, IoOp, ManagementMode, RunReport, Trace, TraceRequest};
+use triplea_ftl::LogicalPage;
+use triplea_sim::SimTime;
+
+/// A short hot-cluster run on the small test array: enough traffic to
+/// populate histograms, per-cluster counters, autonomic stats, and the
+/// latency series (small_test enables series collection).
+fn populated_report() -> RunReport {
+    let cfg = ArrayConfig::small_test();
+    let trace: Trace = (0..600)
+        .map(|i| TraceRequest {
+            at: SimTime::from_us(i / 4),
+            op: if i % 5 == 0 { IoOp::Write } else { IoOp::Read },
+            lpn: LogicalPage((i % 64) * 8),
+            pages: 1,
+        })
+        .collect();
+    Array::new(cfg, ManagementMode::Autonomic).run(&trace)
+}
+
+#[test]
+fn run_report_round_trips_losslessly_through_json() {
+    let report = populated_report();
+    assert!(report.completed() > 0, "run produced traffic");
+    assert!(!report.series().is_empty(), "series was collected");
+
+    let text = serde_json::to_string_pretty(&report).expect("report serializes");
+    let back: RunReport = serde_json::from_str(&text).expect("report deserializes");
+
+    // Field-for-field equality (PartialEq covers every private field,
+    // including all three histograms and the latency series)...
+    assert_eq!(back, report);
+    // ...and the derived metrics the renderers consume agree exactly.
+    assert_eq!(back.iops().to_bits(), report.iops().to_bits());
+    assert_eq!(
+        back.mean_latency_us().to_bits(),
+        report.mean_latency_us().to_bits()
+    );
+    assert_eq!(
+        back.latency_percentile_us(0.99).to_bits(),
+        report.latency_percentile_us(0.99).to_bits()
+    );
+    assert_eq!(back.autonomic_stats(), report.autonomic_stats());
+    assert_eq!(back.ftl_stats(), report.ftl_stats());
+    assert_eq!(back.wear(), report.wear());
+    assert_eq!(back.fault_stats(), report.fault_stats());
+
+    // Serializing the reconstruction reproduces the exact bytes.
+    let text2 = serde_json::to_string_pretty(&back).expect("round-tripped report serializes");
+    assert_eq!(text2, text);
+}
+
+#[test]
+fn mode_serializes_as_variant_name() {
+    let v = serde_json::to_value(&ManagementMode::Autonomic);
+    assert_eq!(v.as_str(), Some("Autonomic"));
+    let back: ManagementMode =
+        serde_json::from_value(&v).expect("mode deserializes from variant name");
+    assert_eq!(back, ManagementMode::Autonomic);
+    assert!(serde_json::from_value::<ManagementMode>(&serde_json::Value::Str(
+        "Bogus".into()
+    ))
+    .is_err());
+}

@@ -1,0 +1,346 @@
+//! Offline, deterministic subset of the [rayon](https://docs.rs/rayon) API.
+//!
+//! The build environment for this workspace has no access to crates.io,
+//! so this vendored stub provides exactly the surface the experiment
+//! harness uses:
+//!
+//! * [`prelude`] with [`IntoParallelIterator`]/[`ParallelIterator`]
+//!   implemented for `Vec<T>`, slices, and `Range<usize>`, plus
+//!   [`ParallelIterator::map`] and `collect::<Vec<_>>()`;
+//! * [`ThreadPoolBuilder`]/[`ThreadPool::install`] for scoped thread
+//!   counts;
+//! * [`current_num_threads`], honouring (in priority order) an
+//!   installed pool, the `RAYON_NUM_THREADS` environment variable, and
+//!   [`std::thread::available_parallelism`].
+//!
+//! Unlike real rayon there is no work stealing: a parallel iterator
+//! materializes its items, spawns `current_num_threads()` scoped worker
+//! threads that claim items through an atomic cursor, and collects the
+//! results **in input order** regardless of completion order. That is
+//! the exact contract the harness's determinism tests pin down.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    /// Thread count override installed by [`ThreadPool::install`].
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of worker threads a parallel iterator will use on this thread:
+/// the installed pool's size, else `RAYON_NUM_THREADS`, else the
+/// machine's available parallelism, else 1.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(|c| c.get());
+    if installed > 0 {
+        return installed;
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Clone, Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default (environment-derived) size.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the worker-thread count; `0` means "derive from the
+    /// environment", as in real rayon.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Never fails in the stub; the `Result` mirrors
+    /// rayon's signature so call sites read identically.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            threads: self.num_threads,
+        })
+    }
+}
+
+/// Error type mirroring rayon's; the stub never produces one.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A "pool" that pins the thread count of parallel iterators run inside
+/// [`ThreadPool::install`]. Workers are spawned per iterator (scoped
+/// threads), not kept alive — acceptable for batch workloads.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's thread count in force on the calling
+    /// thread.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = INSTALLED_THREADS.with(|c| c.replace(self.threads));
+        let result = op();
+        INSTALLED_THREADS.with(|c| c.set(prev));
+        result
+    }
+
+    /// The pinned thread count (0 = environment-derived).
+    pub fn current_num_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            current_num_threads()
+        }
+    }
+}
+
+/// Runs `f` over `items`, returning outputs in input order. Items are
+/// claimed through an atomic cursor by `current_num_threads()` scoped
+/// workers, so *completion* order is arbitrary but the result vector
+/// never is.
+fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Hand out items through a cursor; each slot is filled exactly once.
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i].lock().unwrap().take().expect("slot claimed once");
+                let r = f(item);
+                *out[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker filled slot"))
+        .collect()
+}
+
+/// A materialized parallel iterator: items plus a deferred pipeline.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// Minimal mirror of rayon's `ParallelIterator`.
+pub trait ParallelIterator: Sized {
+    /// Item type produced by the iterator.
+    type Item: Send;
+
+    /// Consumes the iterator, returning its items in input order.
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Maps each item through `op` (executed on the worker threads).
+    fn map<R, F>(self, op: F) -> MappedDrive<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        MappedDrive { inner: self, op }
+    }
+
+    /// Collects into a container (only `Vec` is supported).
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_vec(self.drive())
+    }
+}
+
+/// A mapped parallel iterator; the map runs on worker threads at drive
+/// time.
+pub struct MappedDrive<I, F> {
+    inner: I,
+    op: F,
+}
+
+impl<I, R, F> ParallelIterator for MappedDrive<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn drive(self) -> Vec<R> {
+        parallel_map(self.inner.drive(), self.op)
+    }
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn drive(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Collection target of [`ParallelIterator::collect`].
+pub trait FromParallelIterator<T> {
+    /// Builds the container from items already in input order.
+    fn from_par_vec(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_par_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// Mirror of rayon's `IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// Item type of the produced iterator.
+    type Item: Send;
+    /// Iterator type produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParIter<T>;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = ParIter<usize>;
+
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Mirror of rayon's `IntoParallelRefIterator` (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type of the produced iterator.
+    type Item: Send;
+    /// Iterator type produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParIter<&'a T>;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParIter<&'a T>;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Everything call sites need: `use rayon::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_input_order() {
+        let out: Vec<usize> = (0..100).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let v = vec![1u64, 2, 3];
+        let out: Vec<u64> = v.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![2, 3, 4]);
+        assert_eq!(v.len(), 3); // still usable
+    }
+
+    #[test]
+    fn install_pins_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        let nested = ThreadPoolBuilder::new().num_threads(7).build().unwrap();
+        pool.install(|| {
+            assert_eq!(nested.install(current_num_threads), 7);
+            assert_eq!(current_num_threads(), 3); // restored after nested install
+        });
+    }
+
+    #[test]
+    fn results_ordered_even_with_many_threads() {
+        let pool = ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+        let out: Vec<usize> = pool.install(|| {
+            (0..1000)
+                .into_par_iter()
+                .map(|i| {
+                    if i % 97 == 0 {
+                        std::thread::yield_now();
+                    }
+                    i
+                })
+                .collect()
+        });
+        assert_eq!(out, (0..1000).collect::<Vec<_>>());
+    }
+}

@@ -29,7 +29,7 @@ const BUCKETS: usize = 1920;
 /// assert!(h.percentile(0.5) >= 200);
 /// assert!((h.mean() - 250.0).abs() < 1e-9);
 /// ```
-#[derive(Clone)]
+#[derive(Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Histogram {
     counts: Vec<u64>,
     count: u64,
@@ -306,7 +306,7 @@ impl Default for UtilizationMeter {
 
 /// A time-series sampler: `(instant, value)` pairs, e.g. the per-request
 /// latency series of Figure 16.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Series {
     points: Vec<(SimTime, f64)>,
 }

@@ -1,5 +1,5 @@
 //! The suite driver: runs experiment specs through the parallel
-//! [`Runner`](triplea_bench::harness::Runner) and persists their
+//! `Runner` and persists their
 //! artifacts (`results/<name>.json` + `results/<name>.txt`).
 //!
 //! ```text
@@ -111,14 +111,14 @@ fn main() {
     let runner = Runner::new().threads(o.threads);
     let (results, timing) = run_suite_timed(&runner, &selected, o.scale);
     for (exp, result) in selected.iter().zip(&results) {
-        let (json_path, txt_path) = write_artifacts(exp, result, &o.out)
+        let paths = write_artifacts(exp, result, &o.out)
             .unwrap_or_else(|e| usage_and_exit(&format!("cannot write artifacts: {e}")));
+        let shown: Vec<String> = paths.iter().map(|p| p.display().to_string()).collect();
         println!(
-            "{:<12} {:>3} points -> {} + {}",
+            "{:<12} {:>3} points -> {}",
             exp.name,
             exp.len(),
-            json_path.display(),
-            txt_path.display()
+            shown.join(" + ")
         );
     }
     println!(

@@ -105,10 +105,15 @@ fn parse_opts() -> Opts {
 
 fn main() {
     let o = parse_opts();
-    let mut cfg = ArrayConfig::paper_baseline().with_clusters_per_switch(o.cps);
-    if o.mlc {
-        cfg.flash_timing = FlashTiming::mlc();
-    }
+    let cfg = ArrayConfig::builder()
+        .clusters_per_switch(o.cps)
+        .tune(|c| {
+            if o.mlc {
+                c.flash_timing = FlashTiming::mlc();
+            }
+        })
+        .build()
+        .unwrap_or_else(|e| usage_and_exit(&format!("invalid configuration: {e}")));
 
     let trace: Trace = if let Some(path) = &o.csv {
         let file = File::open(path)

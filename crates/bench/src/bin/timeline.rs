@@ -1,0 +1,10 @@
+//! Traced run: event counts, per-component instruments, and a timeline
+//! excerpt from the array-wide recorder, both management modes. Thin
+//! wrapper over the `timeline` experiment spec; `bench timeline` (or
+//! `bench all`) runs the same spec and additionally persists
+//! `results/timeline.json` + `results/timeline.trace.json` (Chrome
+//! `trace_event` format, viewable in chrome://tracing or Perfetto).
+
+fn main() {
+    triplea_bench::experiments::run_and_print("timeline");
+}

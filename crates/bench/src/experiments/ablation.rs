@@ -2,7 +2,7 @@
 //! own figures; DESIGN.md documents the knobs).
 
 use crate::harness::{jf, ju, obj, report_json, text, Experiment, Scale};
-use crate::{bench_config, f1, f2, overload_gap_ns};
+use crate::{bench_config_with, f1, f2, overload_gap_ns};
 use crate::experiments::kiops;
 use serde_json::Value;
 use triplea_core::{Array, ArrayConfig, LaggardStrategy, ManagementMode};
@@ -72,8 +72,7 @@ pub fn spec(scale: Scale) -> Experiment {
     for (label, tweak) in variants() {
         let shown = label.clone();
         e.point(label, move |ctx| {
-            let mut cfg = bench_config();
-            tweak(&mut cfg);
+            let cfg = bench_config_with(|c| tweak(c));
             obj([
                 ("variant", text(&shown)),
                 ("aaa", run(cfg, ctx.base_seed, scale.requests)),

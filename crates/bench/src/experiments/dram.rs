@@ -2,7 +2,7 @@
 //! write-back buffer from queue-scale to DRAM-scale.
 
 use crate::harness::{jf, ju, obj, report_json, text, uint, Experiment, Scale};
-use crate::{bench_config, f1};
+use crate::{bench_builder, f1};
 use triplea_core::{Array, ManagementMode};
 use triplea_workloads::Microbench;
 
@@ -14,8 +14,10 @@ pub fn spec(scale: Scale) -> Experiment {
     );
     for buffer_pages in [64usize, 256, 1_024, 2_048, 8_192] {
         e.point(format!("buffer={buffer_pages}"), move |ctx| {
-            let mut cfg = bench_config();
-            cfg.write_buffer_pages = buffer_pages;
+            let cfg = bench_builder()
+                .write_buffer_pages(buffer_pages)
+                .build()
+                .expect("dram configuration validates");
             // Bursty checkpoint-style writes into two clusters.
             let trace = Microbench::write()
                 .hot_clusters(2)

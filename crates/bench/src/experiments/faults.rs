@@ -5,7 +5,7 @@
 
 use crate::experiments::kiops;
 use crate::harness::{jf, ju, obj, report_json, text, Experiment, Scale};
-use crate::{bench_config, f1, f2, overload_gap_ns};
+use crate::{bench_builder, f1, f2, overload_gap_ns};
 use serde_json::Value;
 use triplea_core::{
     Array, ArrayConfig, FaultConfig, FimmFaultEvent, FimmFaultKind, FlashFaultProfile,
@@ -24,9 +24,10 @@ fn hot_trace(cfg: &ArrayConfig, seed: u64, requests: usize) -> Trace {
 /// Runs one mode and hard-fails the experiment if the FTL metadata lost
 /// or duplicated a page along the way.
 fn run_checked(cfg: ArrayConfig, mode: ManagementMode, trace: &Trace) -> Value {
-    let (report, integrity) = Array::new(cfg, mode).run_verified(trace);
-    integrity.expect("FTL integrity violated under fault injection");
-    report_json(&report)
+    let run = Array::new(cfg, mode).run_verified(trace);
+    run.integrity
+        .expect("FTL integrity violated under fault injection");
+    report_json(&run.report)
 }
 
 /// Builds the fault-injection experiment: NAND sweep, whole-module
@@ -43,16 +44,18 @@ pub fn spec(scale: Scale) -> Experiment {
         ("heavy", 0.05, 0.004),
     ] {
         e.point(format!("flash/{label}"), move |ctx| {
-            let mut cfg = bench_config();
-            cfg.faults = FaultConfig {
-                flash: FlashFaultProfile {
-                    read_transient_prob: transient,
-                    prog_fail_prob: hard,
-                    erase_fail_prob: hard,
-                },
-                seed: ctx.base_seed,
-                ..FaultConfig::default()
-            };
+            let cfg = bench_builder()
+                .faults(FaultConfig {
+                    flash: FlashFaultProfile {
+                        read_transient_prob: transient,
+                        prog_fail_prob: hard,
+                        erase_fail_prob: hard,
+                    },
+                    seed: ctx.base_seed,
+                    ..FaultConfig::default()
+                })
+                .build()
+                .expect("flash-fault configuration validates");
             let trace = hot_trace(&cfg, ctx.base_seed, scale.requests);
             obj([
                 ("rate", text(label)),
@@ -67,17 +70,19 @@ pub fn spec(scale: Scale) -> Experiment {
         ("dead", Some(FimmFaultKind::Dead)),
     ] {
         e.point(format!("module/{label}"), move |ctx| {
-            let mut cfg = bench_config();
+            let mut b = bench_builder();
             if let Some(kind) = kind {
                 // Fire mid-run, on a FIMM of hot cluster 0.
-                let mid_ns = overload_gap_ns(&cfg, 2) * (scale.requests as u64 / 2);
-                cfg.faults = FaultConfig::default().with_fimm_event(FimmFaultEvent {
+                let mid_ns =
+                    overload_gap_ns(&crate::bench_config(), 2) * (scale.requests as u64 / 2);
+                b = b.faults(FaultConfig::default().with_fimm_event(FimmFaultEvent {
                     cluster: 0,
                     fimm: 0,
                     at_ns: mid_ns,
                     kind,
-                });
+                }));
             }
+            let cfg = b.build().expect("module-fault configuration validates");
             let trace = hot_trace(&cfg, ctx.base_seed, scale.requests);
             obj([
                 ("event", text(label)),
@@ -88,12 +93,16 @@ pub fn spec(scale: Scale) -> Experiment {
     }
     for (label, prob) in [("none", 0.0), ("1e-3", 0.001), ("1e-2", 0.01)] {
         e.point(format!("pcie/{label}"), move |ctx| {
-            let mut cfg = bench_config();
-            cfg.faults.pcie = PcieFaultProfile {
-                corrupt_prob: prob,
-                replay_ns: 700,
-            };
-            cfg.faults.seed = ctx.base_seed;
+            let cfg = bench_builder()
+                .tune(|c| {
+                    c.faults.pcie = PcieFaultProfile {
+                        corrupt_prob: prob,
+                        replay_ns: 700,
+                    };
+                    c.faults.seed = ctx.base_seed;
+                })
+                .build()
+                .expect("pcie-fault configuration validates");
             let trace = hot_trace(&cfg, ctx.base_seed, scale.requests);
             obj([
                 ("corrupt_prob", text(label)),

@@ -4,14 +4,17 @@
 
 use crate::experiments::{curve_rows, kiops};
 use crate::harness::{arr, jf, ju, num, obj, report_json, text, Experiment, Scale};
-use crate::{bench_config, f1, overload_gap_ns};
+use crate::{bench_builder, f1, overload_gap_ns};
 use serde_json::Value;
 use triplea_core::{Array, ManagementMode};
 use triplea_workloads::Microbench;
 
 fn run(mode: ManagementMode, naive: bool, seed: u64, requests: usize) -> Value {
-    let mut cfg = bench_config().with_series(true);
-    cfg.autonomic.naive_migration = naive;
+    let cfg = bench_builder()
+        .collect_series(true)
+        .tune(|c| c.autonomic.naive_migration = naive)
+        .build()
+        .expect("fig16 configuration validates");
     let gap = overload_gap_ns(&cfg, 4);
     let trace = Microbench::read()
         .hot_clusters(4)

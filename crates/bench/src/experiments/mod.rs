@@ -2,7 +2,7 @@
 //!
 //! Each submodule builds the [`Experiment`] behind one of the old
 //! standalone binaries; the binaries are now thin wrappers that run
-//! their spec through the [`Runner`](crate::harness::Runner) and print
+//! their spec through the [`Runner`] and print
 //! the rendered report. `bench all` runs the whole suite in parallel
 //! and writes `results/*.json` + `results/*.txt`.
 
@@ -21,6 +21,7 @@ mod fig16;
 mod ftl_compare;
 mod table1;
 mod table2;
+mod timeline;
 mod wearout;
 
 use crate::harness::{arr, num, report_json, Experiment, Runner, Scale};
@@ -46,6 +47,7 @@ pub fn all(scale: Scale) -> Vec<Experiment> {
         wearout::spec(scale),
         ftl_compare::spec(scale),
         faults::spec(scale),
+        timeline::spec(scale),
     ]
 }
 
@@ -103,7 +105,10 @@ pub(crate) fn curve_rows(v: &Value) -> Vec<Vec<f64>> {
 /// The Figure 13/14/15 run: 4 hot clusters behind one switch at 1.6×
 /// bus overload, on a `4×cps` array, both management modes.
 pub(crate) fn netsize_pair(cps: u32, seed: u64, requests: usize) -> (Value, Value) {
-    let cfg = crate::bench_config().with_clusters_per_switch(cps);
+    let cfg = crate::bench_builder()
+        .clusters_per_switch(cps)
+        .build()
+        .expect("netsize configuration validates");
     let gap = crate::overload_gap_ns(&cfg, 4);
     let trace = triplea_workloads::Microbench::read()
         .hot_clusters(4)

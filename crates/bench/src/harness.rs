@@ -104,6 +104,7 @@ pub struct PointCtx {
 
 type PointFn = Box<dyn Fn(&PointCtx) -> Value + Send + Sync>;
 type RenderFn = Box<dyn Fn(&ExperimentResult) -> String + Send + Sync>;
+type ArtifactFn = Box<dyn Fn(&ExperimentResult) -> String + Send + Sync>;
 
 /// One independent simulation (or analysis) run within an experiment.
 pub struct SweepPoint {
@@ -120,6 +121,7 @@ pub struct Experiment {
     pub title: &'static str,
     points: Vec<SweepPoint>,
     renderer: RenderFn,
+    extra: Vec<(String, ArtifactFn)>,
 }
 
 impl Experiment {
@@ -130,6 +132,7 @@ impl Experiment {
             title,
             points: Vec::new(),
             renderer: Box::new(|res| format!("## {}\n\n(no renderer)\n", res.title)),
+            extra: Vec::new(),
         }
     }
 
@@ -154,6 +157,20 @@ impl Experiment {
         render: impl Fn(&ExperimentResult) -> String + Send + Sync + 'static,
     ) -> &mut Self {
         self.renderer = Box::new(render);
+        self
+    }
+
+    /// Registers an extra derived artifact `results/<name>.<suffix>`.
+    ///
+    /// Like the `.txt` report, it is a pure function of the collected
+    /// results, so it inherits their byte-determinism — the `timeline`
+    /// experiment uses this to emit its Chrome `trace_event` file.
+    pub fn artifact(
+        &mut self,
+        suffix: impl Into<String>,
+        derive: impl Fn(&ExperimentResult) -> String + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.extra.push((suffix.into(), Box::new(derive)));
         self
     }
 
@@ -364,19 +381,26 @@ fn permutation(n: usize, seed: u64) -> Vec<usize> {
     order
 }
 
-/// Writes `results/<name>.json` and the renderer-derived
-/// `results/<name>.txt`; returns both paths.
+/// Writes `results/<name>.json`, the renderer-derived
+/// `results/<name>.txt`, and any registered extra artifacts
+/// (`results/<name>.<suffix>`); returns the paths in that order.
 pub fn write_artifacts(
     exp: &Experiment,
     result: &ExperimentResult,
     out_dir: &Path,
-) -> std::io::Result<(PathBuf, PathBuf)> {
+) -> std::io::Result<Vec<PathBuf>> {
     std::fs::create_dir_all(out_dir)?;
     let json_path = out_dir.join(format!("{}.json", exp.name));
     let txt_path = out_dir.join(format!("{}.txt", exp.name));
     std::fs::write(&json_path, result.to_json())?;
     std::fs::write(&txt_path, exp.render(result))?;
-    Ok((json_path, txt_path))
+    let mut paths = vec![json_path, txt_path];
+    for (suffix, derive) in &exp.extra {
+        let path = out_dir.join(format!("{}.{suffix}", exp.name));
+        std::fs::write(&path, derive(result))?;
+        paths.push(path);
+    }
+    Ok(paths)
 }
 
 /// Compares an artifact against its golden snapshot, reporting the
@@ -492,7 +516,8 @@ fn walk<'a>(v: &'a Value, path: &str) -> &'a Value {
 
 /// The standard per-run summary every experiment embeds: the derived
 /// metrics the paper's tables and figures are built from, plus the raw
-/// activity counters. Deliberately *not* the full [`RunReport`] (whose
+/// activity counters. Deliberately *not* the full
+/// [`RunReport`](triplea_core::RunReport) (whose
 /// histograms would bloat artifacts); renderers read these values back
 /// with [`jf`]/[`ju`].
 pub fn report_json(r: &triplea_core::RunReport) -> Value {

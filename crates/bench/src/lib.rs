@@ -20,12 +20,33 @@
 pub mod experiments;
 pub mod harness;
 
-use triplea_core::{Array, ArrayConfig, ManagementMode, RunReport, Trace};
+use triplea_core::{Array, ArrayConfig, ArrayConfigBuilder, ManagementMode, RunReport, Trace};
 
 /// The array configuration all experiments run on: the paper's 4×16,
 /// 16 TB baseline.
 pub fn bench_config() -> ArrayConfig {
     ArrayConfig::paper_baseline()
+}
+
+/// A validating builder over [`bench_config`]; experiment-local edits go
+/// through this so every swept configuration is cross-field checked
+/// before it reaches the simulator.
+pub fn bench_builder() -> ArrayConfigBuilder {
+    ArrayConfigBuilder::from_base(bench_config())
+}
+
+/// One-shot variant of [`bench_builder`] for sweep points that tweak a
+/// couple of fields: applies `f` to the baseline and validates.
+///
+/// # Panics
+///
+/// Panics when the tweaked configuration violates a cross-field
+/// invariant — an experiment-spec bug that should fail loudly.
+pub fn bench_config_with(f: impl FnOnce(&mut ArrayConfig)) -> ArrayConfig {
+    bench_builder()
+        .tune(f)
+        .build()
+        .expect("bench experiment configuration validates")
 }
 
 /// Requests per run. Long enough for hot pages to be re-accessed ~10x

@@ -92,8 +92,7 @@ fn perturbed_config_fails_snapshot_with_readable_diff() {
     fn micro_artifact(rc_queue: usize) -> String {
         let mut e = Experiment::new("micro", "RC-queue micro check");
         e.point("hot=1", move |ctx| {
-            let mut cfg = triplea_bench::bench_config();
-            cfg.pcie.rc_queue = rc_queue;
+            let cfg = triplea_bench::bench_config_with(|c| c.pcie.rc_queue = rc_queue);
             let trace = Microbench::read()
                 .hot_clusters(1)
                 .requests(Scale::quick().requests)

@@ -10,9 +10,12 @@
 
 use triplea_fimm::FimmFaultKind;
 use triplea_flash::{FlashCommand, FlashError, OpKind, OpTiming, WearReport};
-use triplea_ftl::{hal, Ftl, FtlError, LogicalPage};
+use triplea_ftl::{hal, Ftl, FtlError, IntegrityError, LogicalPage};
 use triplea_pcie::{Admission, ClusterId, RootComplex, Switch};
-use triplea_sim::stats::{Histogram, Series};
+use triplea_sim::stats::{Histogram, TimeSeries};
+use triplea_sim::trace::{
+    MetricRegistry, RunTrace, SharedRecorder, TraceConfig, TraceEventKind, TracePort, TraceScope,
+};
 use triplea_sim::{EventQueue, Nanos, SimTime};
 
 use crate::autonomic::AutonomicState;
@@ -118,13 +121,34 @@ struct Engine {
     attr_link: u64,
     /// Queue-stall time attributed to storage congestion.
     attr_storage: u64,
-    series: Series,
+    series: TimeSeries,
     events: u64,
     foreign_pages: u64,
     dropped_writes: u64,
     /// Engine-side degraded-mode counters; package/link-level fault
     /// counts are folded in by [`Engine::into_report`].
     faults: FaultStats,
+    /// Array-scoped emission port for engine-level lifecycle events.
+    trace: TracePort,
+    /// The recorder harvested at the end of a traced run; `None` keeps
+    /// the run byte-identical to untraced builds.
+    recorder: Option<SharedRecorder>,
+}
+
+/// The outcome of [`Array::run_verified`]: the performance report, the
+/// harvested trace (when a recorder was attached via
+/// [`Array::with_recorder`]), and the post-run FTL metadata audit.
+#[derive(Clone, Debug)]
+pub struct VerifiedRun {
+    /// The run's performance report, identical to [`Array::run`]'s.
+    pub report: RunReport,
+    /// The harvested event trace and metric registry; `None` when the
+    /// array ran without a recorder.
+    pub trace: Option<RunTrace>,
+    /// The end-to-end FTL metadata integrity audit: every live logical
+    /// page maps to exactly one live physical page and vice versa, even
+    /// when faults aborted migrations mid-copy.
+    pub integrity: Result<(), IntegrityError>,
 }
 
 /// The Triple-A all-flash array (or its non-autonomic baseline).
@@ -207,15 +231,56 @@ impl Array {
                 bd_sum: Breakdown::default(),
                 attr_link: 0,
                 attr_storage: 0,
-                series: Series::new(),
+                series: TimeSeries::new(),
                 events: 0,
                 foreign_pages: 0,
                 dropped_writes: 0,
                 faults: FaultStats::default(),
+                trace: TracePort::off(),
+                recorder: None,
                 mode,
                 cfg,
             },
         }
+    }
+
+    /// Attaches an event recorder to every component of the array. Each
+    /// component's [`TracePort`] is stamped with its hierarchical
+    /// position (cluster, FIMM, package), so the harvested
+    /// [`RunTrace`] — returned by [`Array::run_verified`] — carries
+    /// per-lane Chrome-trace output and `cluster.N.fimm.M.*` metrics.
+    pub fn with_recorder(mut self, cfg: TraceConfig) -> Self {
+        let rec = SharedRecorder::new(cfg);
+        let e = &mut self.e;
+        let port = |scope| TracePort::attached(rec.clone(), scope);
+        e.trace = port(TraceScope::array());
+        e.ftl.attach_trace(port(TraceScope::array()));
+        e.auto.attach_trace(port(TraceScope::array()));
+        e.rc.queue.attach_trace(port(TraceScope::array()));
+        let cps = e.cfg.shape.topology.clusters_per_switch;
+        for (s, sw) in e.switches.iter_mut().enumerate() {
+            let sw_scope = TraceScope::array().unit(s as u32);
+            sw.uplink.down.attach_trace(port(sw_scope));
+            sw.uplink.up.attach_trace(port(sw_scope));
+            for (p, link) in sw.downlinks.iter_mut().enumerate() {
+                let scope = TraceScope::cluster(s as u32 * cps + p as u32);
+                link.down.attach_trace(port(scope));
+                link.up.attach_trace(port(scope));
+            }
+            for (p, q) in sw.port_queues.iter_mut().enumerate() {
+                q.attach_trace(port(TraceScope::cluster(s as u32 * cps + p as u32)));
+            }
+        }
+        for (g, cl) in e.clusters.iter_mut().enumerate() {
+            let g = g as u32;
+            cl.bus.attach_trace(port(TraceScope::cluster(g)));
+            cl.ep.queue.attach_trace(port(TraceScope::cluster(g)));
+            for (f, fimm) in cl.fimms.iter_mut().enumerate() {
+                fimm.attach_trace(port(TraceScope::fimm(g, f as u32)));
+            }
+        }
+        e.recorder = Some(rec);
+        self
     }
 
     /// Applies the configured fault plan to freshly built hardware. A
@@ -275,19 +340,20 @@ impl Array {
     /// Panics if a trace record has `pages == 0` or addresses a page
     /// outside the array.
     pub fn run(self, trace: &Trace) -> RunReport {
-        self.run_verified(trace).0
+        self.run_verified(trace).report
     }
 
     /// Like [`Array::run`], but additionally performs an end-to-end FTL
-    /// metadata integrity check after the run: every relocated page must
+    /// metadata integrity check after the run — every relocated page must
     /// map to exactly one live physical page and vice versa, proving that
-    /// no page was lost or duplicated — even when faults aborted
-    /// migrations mid-copy.
+    /// no page was lost or duplicated even when faults aborted migrations
+    /// mid-copy — and harvests the event trace when a recorder was
+    /// attached with [`Array::with_recorder`].
     ///
     /// # Panics
     ///
     /// Same conditions as [`Array::run`].
-    pub fn run_verified(mut self, trace: &Trace) -> (RunReport, Result<(), String>) {
+    pub fn run_verified(mut self, trace: &Trace) -> VerifiedRun {
         let total_pages = self.e.cfg.shape.total_pages();
         for (i, r) in trace.requests().iter().enumerate() {
             assert!(r.pages >= 1, "request {i} has zero pages");
@@ -302,12 +368,28 @@ impl Array {
         if trace.is_empty() {
             self.e.first_submit = SimTime::ZERO;
         }
-        while let Some((now, ev)) = self.e.queue.pop() {
-            self.e.events += 1;
-            self.e.handle(now, ev);
+        if let Some(rec) = &self.e.recorder {
+            let rec = rec.clone();
+            while let Some((now, ev)) = self.e.queue.pop() {
+                // Timeless components (the FTL, credit queues) emit at
+                // the recorder clock; keep it on the event loop's time.
+                rec.set_now(now);
+                self.e.events += 1;
+                self.e.handle(now, ev);
+            }
+        } else {
+            while let Some((now, ev)) = self.e.queue.pop() {
+                self.e.events += 1;
+                self.e.handle(now, ev);
+            }
         }
         let integrity = self.e.ftl.verify_integrity();
-        (self.e.into_report(), integrity)
+        let run_trace = self.e.harvest_trace();
+        VerifiedRun {
+            report: self.e.into_report(),
+            trace: run_trace,
+            integrity,
+        }
     }
 }
 
@@ -337,6 +419,16 @@ impl Engine {
 
     fn cluster_global(&self, id: ClusterId) -> u32 {
         self.cfg.shape.topology.global_index(id)
+    }
+
+    /// Samples one FIMM's read backlog into its queue-depth series.
+    /// Only records while a recorder is attached, so untraced runs
+    /// allocate nothing.
+    fn sample_qdepth(&mut self, now: SimTime, c: usize, fimm: usize) {
+        if self.recorder.is_some() {
+            let v = self.clusters[c].pending_read_pages[fimm] as f64;
+            self.clusters[c].qdepth[fimm].push(now, v);
+        }
     }
 
     fn handle(&mut self, now: SimTime, ev: Ev) {
@@ -380,6 +472,15 @@ impl Engine {
     fn on_submit(&mut self, now: SimTime, r: u32) {
         self.reqs[r as usize].wait_since = now;
         self.reqs[r as usize].stage = Stage::AtRc;
+        self.trace.emit(|| {
+            let rs = &self.reqs[r as usize];
+            TraceEventKind::Submit {
+                req: r,
+                read: rs.op == IoOp::Read,
+                lpn: rs.lpn.0,
+                pages: rs.pages,
+            }
+        });
         match self.rc.queue.admit(r as u64) {
             Admission::Admitted => self.queue.push(now, Ev::RcGranted(r)),
             Admission::Queued => {} // woken by on_complete's release
@@ -408,7 +509,14 @@ impl Engine {
         // DFTL-style mapping-cache miss costs a flash read of the
         // translation page from the request's home FIMM.
         let mut t = now + self.cfg.pcie.rc_route_ns;
-        if !self.ftl.map_access(lpn) {
+        let map_hit = self.ftl.map_access(lpn);
+        self.trace
+            .with_scope(TraceScope::cluster(cluster))
+            .emit(|| TraceEventKind::Dispatch {
+                req: r,
+                map_miss: !map_hit,
+            });
+        if !map_hit {
             let loc = self.reqs[r as usize].locs[0];
             let c = cluster as usize;
             let pb = self.page_bytes();
@@ -693,6 +801,7 @@ impl Engine {
                     // so the request still terminates (and is counted as
                     // unserviceable by issue_read_op).
                     self.clusters[c].pending_read_pages[fimm] += n as u64;
+                    self.sample_qdepth(now, c, fimm);
                     {
                         let rs = &mut self.reqs[r as usize];
                         rs.bd.bus_wait += cmd_res.wait;
@@ -712,6 +821,7 @@ impl Engine {
                 // here on, account everything against the serving FIMM.
                 let fimm = sf as usize;
                 self.clusters[c].pending_read_pages[fimm] += n as u64;
+                self.sample_qdepth(now, c, fimm);
                 {
                     let rs = &mut self.reqs[r as usize];
                     rs.bd.bus_wait += cmd_res.wait;
@@ -771,6 +881,7 @@ impl Engine {
     fn on_part_flash_done(&mut self, now: SimTime, r: u32, fimm: u32, pages: u32) {
         let c = self.reqs[r as usize].cluster as usize;
         self.clusters[c].pending_read_pages[fimm as usize] -= pages as u64;
+        self.sample_qdepth(now, c, fimm as usize);
         let bytes = pages as u64 * self.page_bytes();
         let res = self.clusters[c].bus.transfer(now, bytes);
         {
@@ -824,8 +935,8 @@ impl Engine {
         }
         let t_latency = now - flash_start;
         let cluster = self.reqs[r as usize].cluster as usize;
-        let bus_busy = self.clusters[cluster].bus.windowed_utilization(now)
-            >= self.cfg.autonomic.hot_bus_threshold;
+        let bus_util = self.clusters[cluster].bus.windowed_utilization(now);
+        let bus_busy = bus_util >= self.cfg.autonomic.hot_bus_threshold;
         // A cluster currently absorbing relocation programs looks busy
         // because of repair traffic; defer judgement until it drains.
         let repairing = self.clusters[cluster]
@@ -836,6 +947,13 @@ impl Engine {
             && bus_busy
             && !repairing
             && t_latency >= self.cfg.eq1_threshold_ns(pages);
+        self.trace
+            .with_scope(TraceScope::cluster(cluster as u32))
+            .emit(|| TraceEventKind::DetectorSample {
+                bus_util_milli: (bus_util * 1000.0) as u32,
+                latency_ns: t_latency,
+                hot,
+            });
         if hot {
             self.auto.stats.hot_detections += 1;
         }
@@ -882,6 +1000,12 @@ impl Engine {
         });
         self.auto.stats.pages_reshaped += n as u64;
         let target = self.clusters[c].least_loaded_fimm(now, Some(laggard));
+        self.trace
+            .with_scope(TraceScope::cluster(cluster))
+            .emit(|| TraceEventKind::ReshapeBegin {
+                target_fimm: target,
+                pages: n,
+            });
         for idx in 0..n {
             self.program_relocated_page(now, reloc_id, idx, cluster, cluster_id, target);
         }
@@ -951,6 +1075,9 @@ impl Engine {
                 self.ftl.migrate_abort(LogicalPage(lpn), loc);
                 self.relocs[reloc as usize].pages[idx as usize].new = None;
                 self.faults.migration_rollbacks += 1;
+                self.trace
+                    .with_scope(TraceScope::fimm(cluster, fimm))
+                    .emit(|| TraceEventKind::RelocRollback { lpn });
                 self.finish_reloc_page(reloc, idx as usize);
             }
         }
@@ -1008,6 +1135,13 @@ impl Engine {
         };
         self.auto.stats.migrations_started += 1;
         self.auto.stats.pages_migrated += claimed.len() as u64;
+        let dst_global = topo.global_index(dst_id);
+        self.trace
+            .with_scope(TraceScope::cluster(cluster))
+            .emit(|| TraceEventKind::MigrationBegin {
+                dst_cluster: dst_global,
+                pages: claimed.len() as u32,
+            });
 
         // Shadow cloning: the request's own pages already sit in the EP;
         // every other extent page (and, in naive mode, all of them) must
@@ -1058,7 +1192,6 @@ impl Engine {
         // Peer-to-peer hop: source EP -> switch -> destination EP.
         let s = (cluster / topo.clusters_per_switch) as usize;
         let src_port = (cluster % topo.clusters_per_switch) as usize;
-        let dst_global = topo.global_index(dst_id);
         let dst_port = (dst_global % topo.clusters_per_switch) as usize;
         let bytes = self.wire_bytes(claimed.len() as u32);
         let up = self.switches[s].downlinks[src_port]
@@ -1097,6 +1230,9 @@ impl Engine {
         if let Some(new_loc) = page.new {
             self.ftl
                 .migrate_commit(LogicalPage(page.lpn), new_loc, page.old);
+            self.trace
+                .with_scope(TraceScope::fimm(cluster, fimm))
+                .emit(|| TraceEventKind::RelocCommit { lpn: page.lpn });
         }
         self.maybe_gc(now, cluster, fimm);
         self.finish_reloc_page(reloc, idx as usize);
@@ -1121,6 +1257,9 @@ impl Engine {
                 // within the same cluster.
                 let f = self.clusters[c].least_loaded_fimm(now, None);
                 self.auto.stats.write_redirects += 1;
+                self.trace
+                    .with_scope(TraceScope::cluster(cluster))
+                    .emit(|| TraceEventKind::WriteRedirect { target_fimm: f });
                 Some((cluster_id, f))
             } else {
                 None
@@ -1363,6 +1502,13 @@ impl Engine {
         let op = rs.op;
         let submit = rs.submit;
         let bd = rs.bd;
+        let cluster = rs.cluster;
+        self.trace
+            .with_scope(TraceScope::cluster(cluster))
+            .emit(|| TraceEventKind::Complete {
+                req: r,
+                latency_ns: total,
+            });
         self.lat.record(total);
         match op {
             IoOp::Read => {
@@ -1395,6 +1541,49 @@ impl Engine {
         if let Some(next) = self.rc.queue.release() {
             self.queue.push(now, Ev::RcGranted(next as u32));
         }
+    }
+
+    /// Harvests the recorder and the per-component instruments into a
+    /// [`RunTrace`]. Metric names are hierarchical and stable
+    /// (`cluster.N.fimm.M.queue_depth`); the registry sorts by name at
+    /// export, so harvest order never leaks into artifact bytes.
+    fn harvest_trace(&self) -> Option<RunTrace> {
+        let rec = self.recorder.as_ref()?;
+        let now = self.last_complete;
+        let mut m = MetricRegistry::new();
+        m.counter("array.events", self.events);
+        m.counter("array.completed", self.completed);
+        m.counter("array.dropped_writes", self.dropped_writes);
+        m.histogram("array.latency", &self.lat);
+        m.histogram("array.read_latency", &self.rlat);
+        m.histogram("array.write_latency", &self.wlat);
+        for (g, cl) in self.clusters.iter().enumerate() {
+            m.gauge(
+                format!("cluster.{g}.bus.utilization"),
+                cl.bus.utilization(now),
+            );
+            m.counter(format!("cluster.{g}.bus.bytes"), cl.bus.bytes_moved());
+            m.counter(format!("cluster.{g}.served"), cl.served);
+            m.counter(format!("cluster.{g}.relocs_in"), cl.relocs_in);
+            m.counter(
+                format!("cluster.{g}.ep_queue.high_watermark"),
+                cl.ep.queue.high_watermark() as u64,
+            );
+            for (f, s) in cl.qdepth.iter().enumerate() {
+                m.series(format!("cluster.{g}.fimm.{f}.queue_depth"), s, 512);
+            }
+        }
+        for (s, sw) in self.switches.iter().enumerate() {
+            m.counter(
+                format!("switch.{s}.uplink.bytes"),
+                sw.uplink.down.bytes_sent() + sw.uplink.up.bytes_sent(),
+            );
+            m.counter(
+                format!("switch.{s}.uplink.replays"),
+                sw.uplink.down.replays() + sw.uplink.up.replays(),
+            );
+        }
+        Some(RunTrace::from_recorder(&rec.snapshot(), m))
     }
 
     fn into_report(mut self) -> RunReport {

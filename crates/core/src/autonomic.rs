@@ -8,6 +8,7 @@
 use std::collections::{HashMap, HashSet};
 
 use triplea_pcie::{ClusterId, Topology};
+use triplea_sim::trace::{TraceEventKind, TracePort, TraceScope};
 use triplea_sim::{SimTime, SplitMix64};
 
 use crate::config::AutonomicParams;
@@ -36,6 +37,30 @@ pub struct AutonomicStats {
     pub no_cold_target: u64,
 }
 
+impl std::fmt::Display for AutonomicStats {
+    /// A one-line summary; `"idle"` when the manager never acted.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if *self == AutonomicStats::default() {
+            return write!(f, "idle");
+        }
+        write!(
+            f,
+            "{} hot detections, {}/{} migrations ({} pages), \
+             {} laggards ({} pages reshaped), {} write redirects, \
+             {} escalations, {} no-cold-target",
+            self.hot_detections,
+            self.migrations_completed,
+            self.migrations_started,
+            self.pages_migrated,
+            self.laggard_detections,
+            self.pages_reshaped,
+            self.write_redirects,
+            self.escalations,
+            self.no_cold_target
+        )
+    }
+}
+
 /// Mutable state of the autonomic manager during a run.
 #[derive(Clone, Debug)]
 pub struct AutonomicState {
@@ -49,6 +74,7 @@ pub struct AutonomicState {
     rng: SplitMix64,
     /// Counters reported at the end of the run.
     pub stats: AutonomicStats,
+    trace: TracePort,
 }
 
 impl AutonomicState {
@@ -61,7 +87,15 @@ impl AutonomicState {
             last_escalation: HashMap::new(),
             rng: SplitMix64::new(seed),
             stats: AutonomicStats::default(),
+            trace: TracePort::off(),
         }
+    }
+
+    /// Connects the manager to an event recorder; accepted laggard and
+    /// escalation detections are reported through `port`, scoped to the
+    /// cluster they fired on.
+    pub fn attach_trace(&mut self, port: TracePort) {
+        self.trace = port;
     }
 
     /// The tunables in force.
@@ -153,6 +187,9 @@ impl AutonomicState {
         }
         self.last_laggard.insert(key, now);
         self.stats.laggard_detections += 1;
+        self.trace
+            .with_scope(TraceScope::fimm(cluster, fimm))
+            .emit(|| TraceEventKind::LaggardDetected);
         true
     }
 
@@ -168,6 +205,9 @@ impl AutonomicState {
         }
         self.last_escalation.insert(cluster, now);
         self.stats.escalations += 1;
+        self.trace
+            .with_scope(TraceScope::cluster(cluster))
+            .emit(|| TraceEventKind::Escalation);
         true
     }
 }

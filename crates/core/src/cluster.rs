@@ -5,6 +5,7 @@ use std::collections::VecDeque;
 
 use triplea_fimm::{Fimm, OnfiBus};
 use triplea_pcie::{ClusterId, Endpoint};
+use triplea_sim::stats::TimeSeries;
 use triplea_sim::SimTime;
 
 use crate::config::ArrayConfig;
@@ -25,6 +26,9 @@ pub(crate) struct ClusterState {
     pub wbuf_waiters: VecDeque<u32>,
     /// Read pages issued to each FIMM and not yet back (Eq. 3 input).
     pub pending_read_pages: Vec<u64>,
+    /// Per-FIMM read-backlog samples, populated only while a trace
+    /// recorder is attached (exported as `cluster.N.fimm.M.queue_depth`).
+    pub qdepth: Vec<TimeSeries>,
     /// Program pages outstanding per FIMM (writes, reshaping, GC).
     pub pending_prog_pages: Vec<u64>,
     /// Round-robin cursor for spreading reshaped/migrated pages.
@@ -55,6 +59,7 @@ impl ClusterState {
             wbuf_used: 0,
             wbuf_waiters: VecDeque::new(),
             pending_read_pages: vec![0; n],
+            qdepth: vec![TimeSeries::new(); n],
             pending_prog_pages: vec![0; n],
             spread_rr: 0,
             served: 0,

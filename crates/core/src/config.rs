@@ -187,7 +187,113 @@ impl FaultConfig {
     }
 }
 
+/// A validation failure for an [`ArrayConfig`] under construction.
+///
+/// Returned by [`ArrayConfigBuilder::build`] and [`ArrayConfig::validate`]
+/// so that impossible geometries are rejected before a simulation is
+/// built, instead of panicking (or silently misbehaving) mid-run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ConfigError {
+    /// A structural dimension (switches, clusters, FIMMs, packages,
+    /// dies, …) is zero, so the array has no hardware to simulate.
+    ZeroDimension {
+        /// Which dimension is zero.
+        field: &'static str,
+    },
+    /// A credit-queue depth is zero; flow control would deadlock on the
+    /// first request.
+    ZeroQueueDepth {
+        /// Which queue (root complex, switch, or endpoint).
+        queue: &'static str,
+    },
+    /// A fraction-valued tunable (bus-utilization threshold, fault
+    /// probability) falls outside `[0, 1]`.
+    ThresholdOutOfRange {
+        /// Which tunable.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The Eq. 2 cold-cluster threshold is not below the Eq. 1 hot
+    /// threshold, so a cluster could be hot and a migration target at
+    /// once and data would ping-pong.
+    ColdNotBelowHot {
+        /// Configured cold-bus threshold.
+        cold: f64,
+        /// Configured hot-bus threshold.
+        hot: f64,
+    },
+    /// A scheduled FIMM fault event names a cluster or FIMM outside the
+    /// configured topology fan-out.
+    FaultEventOutOfRange {
+        /// Slot index of the offending event.
+        index: usize,
+        /// Its (global) cluster index.
+        cluster: u32,
+        /// Its FIMM index.
+        fimm: u32,
+    },
+    /// The migration extent is zero or exceeds the relocation in-flight
+    /// budget, so autonomic migration could never move a single extent.
+    BadMigrationExtent {
+        /// Configured extent in pages.
+        extent_pages: u32,
+        /// Configured in-flight relocation budget in pages.
+        max_inflight: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroDimension { field } => {
+                write!(f, "array dimension `{field}` must be nonzero")
+            }
+            ConfigError::ZeroQueueDepth { queue } => {
+                write!(f, "queue depth `{queue}` must be nonzero")
+            }
+            ConfigError::ThresholdOutOfRange { field, value } => {
+                write!(f, "`{field}` = {value} is outside [0, 1]")
+            }
+            ConfigError::ColdNotBelowHot { cold, hot } => {
+                write!(
+                    f,
+                    "cold-bus threshold {cold} must be below hot-bus threshold {hot}"
+                )
+            }
+            ConfigError::FaultEventOutOfRange {
+                index,
+                cluster,
+                fimm,
+            } => {
+                write!(
+                    f,
+                    "FIMM fault event #{index} targets cluster {cluster} fimm {fimm}, \
+                     outside the configured topology"
+                )
+            }
+            ConfigError::BadMigrationExtent {
+                extent_pages,
+                max_inflight,
+            } => {
+                write!(
+                    f,
+                    "migration extent of {extent_pages} pages cannot fit the \
+                     in-flight relocation budget of {max_inflight} pages"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Complete configuration of one all-flash array instance.
+///
+/// Prefer constructing these through [`ArrayConfig::builder`] (or
+/// [`ArrayConfig::small_builder`] in tests), which validates cross-field
+/// invariants and returns a typed [`ConfigError`]; writing a bare struct
+/// literal skips validation and is discouraged outside this crate.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ArrayConfig {
     /// Physical dimensions (network × FIMMs × packages × geometry).
@@ -293,6 +399,202 @@ impl ArrayConfig {
         let t_exe = self.flash_timing.exe_nanos(triplea_flash::OpKind::Read);
         (t_dma + t_exe) * pending_pages
     }
+
+    /// A validating builder seeded with the paper's §5.1 baseline.
+    pub fn builder() -> ArrayConfigBuilder {
+        ArrayConfigBuilder::from_base(ArrayConfig::paper_baseline())
+    }
+
+    /// A validating builder seeded with the small 2×4 test array.
+    pub fn small_builder() -> ArrayConfigBuilder {
+        ArrayConfigBuilder::from_base(ArrayConfig::small_test())
+    }
+
+    /// Checks every cross-field invariant the builder enforces.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ConfigError`] found, in a deterministic order
+    /// (dimensions, queues, thresholds, fault probabilities, fault
+    /// events, migration extent).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let dims: [(&'static str, u64); 7] = [
+            ("topology.switches", self.shape.topology.switches as u64),
+            (
+                "topology.clusters_per_switch",
+                self.shape.topology.clusters_per_switch as u64,
+            ),
+            ("fimms_per_cluster", self.shape.fimms_per_cluster as u64),
+            ("packages_per_fimm", self.shape.packages_per_fimm as u64),
+            ("flash.dies", self.shape.flash.dies as u64),
+            ("pcie.lanes", self.pcie.lanes as u64),
+            ("write_buffer_pages", self.write_buffer_pages as u64),
+        ];
+        for (field, v) in dims {
+            if v == 0 {
+                return Err(ConfigError::ZeroDimension { field });
+            }
+        }
+        let queues: [(&'static str, usize); 3] = [
+            ("pcie.rc_queue", self.pcie.rc_queue),
+            ("pcie.switch_queue", self.pcie.switch_queue),
+            ("pcie.ep_queue", self.pcie.ep_queue),
+        ];
+        for (queue, v) in queues {
+            if v == 0 {
+                return Err(ConfigError::ZeroQueueDepth { queue });
+            }
+        }
+        let fractions: [(&'static str, f64); 6] = [
+            ("autonomic.hot_bus_threshold", self.autonomic.hot_bus_threshold),
+            ("autonomic.cold_bus_threshold", self.autonomic.cold_bus_threshold),
+            ("faults.flash.read_transient_prob", self.faults.flash.read_transient_prob),
+            ("faults.flash.prog_fail_prob", self.faults.flash.prog_fail_prob),
+            ("faults.flash.erase_fail_prob", self.faults.flash.erase_fail_prob),
+            ("faults.pcie.corrupt_prob", self.faults.pcie.corrupt_prob),
+        ];
+        for (field, value) in fractions {
+            if !(0.0..=1.0).contains(&value) {
+                return Err(ConfigError::ThresholdOutOfRange { field, value });
+            }
+        }
+        if self.autonomic.cold_bus_threshold >= self.autonomic.hot_bus_threshold {
+            return Err(ConfigError::ColdNotBelowHot {
+                cold: self.autonomic.cold_bus_threshold,
+                hot: self.autonomic.hot_bus_threshold,
+            });
+        }
+        let total_clusters = self.shape.topology.total_clusters();
+        for (index, ev) in self.faults.fimm_events.iter().enumerate() {
+            if let Some(ev) = ev {
+                if ev.cluster >= total_clusters || ev.fimm >= self.shape.fimms_per_cluster {
+                    return Err(ConfigError::FaultEventOutOfRange {
+                        index,
+                        cluster: ev.cluster,
+                        fimm: ev.fimm,
+                    });
+                }
+            }
+        }
+        if self.autonomic.migration_extent_pages == 0
+            || self.autonomic.migration_extent_pages as usize
+                > self.autonomic.max_inflight_reloc_pages
+        {
+            return Err(ConfigError::BadMigrationExtent {
+                extent_pages: self.autonomic.migration_extent_pages,
+                max_inflight: self.autonomic.max_inflight_reloc_pages,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`ArrayConfig`]; see [`ArrayConfig::builder`].
+///
+/// Typed setters cover the knobs experiments actually sweep; anything
+/// else goes through [`ArrayConfigBuilder::tune`], which still funnels
+/// the result through [`ArrayConfig::validate`] at
+/// [`build`](ArrayConfigBuilder::build) time.
+#[derive(Clone, Copy, Debug)]
+pub struct ArrayConfigBuilder {
+    cfg: ArrayConfig,
+}
+
+impl ArrayConfigBuilder {
+    /// A builder starting from an existing (presumed-sane) config.
+    pub fn from_base(cfg: ArrayConfig) -> Self {
+        ArrayConfigBuilder { cfg }
+    }
+
+    /// Sets the PCI-E network shape.
+    pub fn topology(mut self, switches: u32, clusters_per_switch: u32) -> Self {
+        self.cfg.shape.topology = Topology {
+            switches,
+            clusters_per_switch,
+        };
+        self
+    }
+
+    /// Sets the network width, keeping the switch count (the §6.4
+    /// sensitivity sweeps: 8–20 clusters per switch).
+    pub fn clusters_per_switch(mut self, n: u32) -> Self {
+        self.cfg.shape.topology.clusters_per_switch = n;
+        self
+    }
+
+    /// Sets the number of FIMMs on each cluster's shared bus.
+    pub fn fimms_per_cluster(mut self, n: u32) -> Self {
+        self.cfg.shape.fimms_per_cluster = n;
+        self
+    }
+
+    /// Sets the root-complex / switch / endpoint credit-queue depths.
+    pub fn queue_depths(mut self, rc: usize, switch: usize, ep: usize) -> Self {
+        self.cfg.pcie.rc_queue = rc;
+        self.cfg.pcie.switch_queue = switch;
+        self.cfg.pcie.ep_queue = ep;
+        self
+    }
+
+    /// Replaces the autonomic-management tunables wholesale.
+    pub fn autonomic(mut self, params: AutonomicParams) -> Self {
+        self.cfg.autonomic = params;
+        self
+    }
+
+    /// Sets the per-cluster write-back buffer capacity in pages.
+    pub fn write_buffer_pages(mut self, pages: usize) -> Self {
+        self.cfg.write_buffer_pages = pages;
+        self
+    }
+
+    /// Sets the DFTL-style mapping-cache size (0 = full map in DRAM).
+    pub fn mapping_cache_pages(mut self, pages: usize) -> Self {
+        self.cfg.mapping_cache_pages = pages;
+        self
+    }
+
+    /// Sets the GC victim-selection policy.
+    pub fn gc_policy(mut self, policy: GcPolicy) -> Self {
+        self.cfg.gc_policy = policy;
+        self
+    }
+
+    /// Sets the simulator tie-breaking RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Enables/disables the per-request latency series recorder.
+    pub fn collect_series(mut self, on: bool) -> Self {
+        self.cfg.collect_series = on;
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan.
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.cfg.faults = faults;
+        self
+    }
+
+    /// Escape hatch for fields without a dedicated setter: `f` mutates
+    /// the config in place and the result is still validated by
+    /// [`build`](ArrayConfigBuilder::build).
+    pub fn tune(mut self, f: impl FnOnce(&mut ArrayConfig)) -> Self {
+        f(&mut self.cfg);
+        self
+    }
+
+    /// Validates and returns the finished configuration.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ConfigError`] violated; see [`ArrayConfig::validate`].
+    pub fn build(self) -> Result<ArrayConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
 }
 
 #[cfg(test)]
@@ -382,6 +684,114 @@ mod tests {
         for _ in 0..=MAX_FIMM_FAULT_EVENTS {
             fc = fc.with_fimm_event(ev);
         }
+    }
+
+    #[test]
+    fn builder_accepts_baseline_and_small_test() {
+        assert_eq!(
+            ArrayConfig::builder().build().unwrap(),
+            ArrayConfig::paper_baseline()
+        );
+        assert_eq!(
+            ArrayConfig::small_builder().build().unwrap(),
+            ArrayConfig::small_test()
+        );
+    }
+
+    #[test]
+    fn builder_rejects_zero_fanout() {
+        let err = ArrayConfig::builder().fimms_per_cluster(0).build().unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::ZeroDimension {
+                field: "fimms_per_cluster"
+            }
+        );
+        let err = ArrayConfig::builder().topology(0, 16).build().unwrap_err();
+        assert!(matches!(err, ConfigError::ZeroDimension { .. }), "{err}");
+    }
+
+    #[test]
+    fn builder_rejects_zero_queue_depths() {
+        let err = ArrayConfig::builder().queue_depths(800, 0, 64).build().unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::ZeroQueueDepth {
+                queue: "pcie.switch_queue"
+            }
+        );
+    }
+
+    #[test]
+    fn builder_rejects_inverted_thresholds() {
+        let err = ArrayConfig::builder()
+            .tune(|c| {
+                c.autonomic.hot_bus_threshold = 0.2;
+                c.autonomic.cold_bus_threshold = 0.5;
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ColdNotBelowHot { cold: 0.5, hot: 0.2 });
+        let err = ArrayConfig::builder()
+            .tune(|c| c.autonomic.hot_bus_threshold = 1.5)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::ThresholdOutOfRange { .. }), "{err}");
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range_fault_events() {
+        let err = ArrayConfig::small_builder()
+            .faults(FaultConfig::default().with_fimm_event(FimmFaultEvent {
+                cluster: 0,
+                fimm: 99,
+                at_ns: 0,
+                kind: FimmFaultKind::Dead,
+            }))
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::FaultEventOutOfRange {
+                index: 0,
+                cluster: 0,
+                fimm: 99
+            }
+        );
+        assert!(err.to_string().contains("fault event #0"), "{err}");
+    }
+
+    #[test]
+    fn builder_rejects_oversized_migration_extent() {
+        let err = ArrayConfig::builder()
+            .tune(|c| {
+                c.autonomic.migration_extent_pages = 512;
+                c.autonomic.max_inflight_reloc_pages = 64;
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::BadMigrationExtent { .. }), "{err}");
+    }
+
+    #[test]
+    fn builder_typed_setters_apply() {
+        let c = ArrayConfig::builder()
+            .topology(2, 8)
+            .fimms_per_cluster(2)
+            .queue_depths(100, 50, 32)
+            .seed(7)
+            .collect_series(true)
+            .write_buffer_pages(64)
+            .mapping_cache_pages(4)
+            .gc_policy(GcPolicy::CostBenefit)
+            .build()
+            .unwrap();
+        assert_eq!(c.shape.topology.total_clusters(), 16);
+        assert_eq!(c.shape.fimms_per_cluster, 2);
+        assert_eq!((c.pcie.rc_queue, c.pcie.switch_queue, c.pcie.ep_queue), (100, 50, 32));
+        assert_eq!(c.seed, 7);
+        assert!(c.collect_series);
+        assert_eq!(c.gc_policy, GcPolicy::CostBenefit);
     }
 
     #[test]

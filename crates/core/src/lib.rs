@@ -47,19 +47,25 @@ mod cluster;
 mod config;
 mod metrics;
 mod request;
+mod simulation;
 
-pub use array::Array;
+pub use array::{Array, VerifiedRun};
 pub use autonomic::{AutonomicState, AutonomicStats};
 pub use config::{
-    ArrayConfig, AutonomicParams, FaultConfig, FimmFaultEvent, LaggardStrategy, ManagementMode,
-    MAX_FIMM_FAULT_EVENTS,
+    ArrayConfig, ArrayConfigBuilder, AutonomicParams, ConfigError, FaultConfig, FimmFaultEvent,
+    LaggardStrategy, ManagementMode, MAX_FIMM_FAULT_EVENTS,
 };
 pub use metrics::{FaultStats, RunReport};
 pub use request::{Breakdown, IoOp, Trace, TraceRequest};
+pub use simulation::{Simulation, SimulationBuilder};
 
 // Re-export the shape/address vocabulary users need alongside `Array`,
-// plus the substrate-level fault types `FaultConfig` is built from.
+// plus the substrate-level fault types `FaultConfig` is built from and
+// the tracing vocabulary `Simulation::with_recorder` consumes.
 pub use triplea_fimm::FimmFaultKind;
 pub use triplea_flash::FlashFaultProfile;
-pub use triplea_ftl::{ArrayShape, LogicalPage, PhysLoc};
+pub use triplea_ftl::{ArrayShape, GcPolicy, IntegrityError, LogicalPage, PhysLoc};
 pub use triplea_pcie::{ClusterId, PcieFaultProfile, Topology};
+pub use triplea_sim::trace::{
+    Metric, MetricRegistry, RunTrace, TraceConfig, TraceEvent, TraceEventKind,
+};

@@ -2,7 +2,7 @@
 
 use triplea_flash::WearReport;
 use triplea_ftl::FtlStats;
-use triplea_sim::stats::{Histogram, Series};
+use triplea_sim::stats::{Histogram, TimeSeries};
 use triplea_sim::SimTime;
 
 use crate::autonomic::AutonomicStats;
@@ -50,6 +50,33 @@ impl FaultStats {
     }
 }
 
+impl std::fmt::Display for FaultStats {
+    /// A one-line summary; `"no faults"` when the run was quiet.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if !self.any() {
+            return write!(f, "no faults");
+        }
+        write!(
+            f,
+            "{} transient reads, {} prog fails, {} erase fails, {} bad blocks, \
+             {} FIMM deaths, {} slowdowns, {} degraded reads, {} unserviceable, \
+             {} write redirects, {} tlp replays, {} rollbacks, {} gc erase fails",
+            self.transient_read_faults,
+            self.prog_failures,
+            self.erase_failures,
+            self.blocks_retired_by_fault,
+            self.fimm_deaths,
+            self.fimm_slowdowns,
+            self.degraded_reads,
+            self.unserviceable_reads,
+            self.fault_write_redirects,
+            self.tlp_replays,
+            self.migration_rollbacks,
+            self.gc_failed_erases
+        )
+    }
+}
+
 /// Everything measured during a run; the benchmark harness derives every
 /// table row and figure series from this.
 #[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -66,7 +93,7 @@ pub struct RunReport {
     pub(crate) bd_sum: Breakdown,
     pub(crate) attr_link: u64,
     pub(crate) attr_storage: u64,
-    pub(crate) series: Series,
+    pub(crate) series: TimeSeries,
     pub(crate) per_cluster_requests: Vec<u64>,
     pub(crate) per_cluster_relocs_in: Vec<u64>,
     pub(crate) dropped_writes: u64,
@@ -216,7 +243,7 @@ impl RunReport {
 
     /// The `(submit time, latency µs)` series, if collection was enabled
     /// (Figure 16).
-    pub fn series(&self) -> &Series {
+    pub fn series(&self) -> &TimeSeries {
         &self.series
     }
 
@@ -378,7 +405,7 @@ mod tests {
             bd_sum: Breakdown::default(),
             attr_link: 0,
             attr_storage: 0,
-            series: Series::new(),
+            series: TimeSeries::new(),
             per_cluster_requests: vec![0; 4],
             per_cluster_relocs_in: vec![0; 4],
             dropped_writes: 0,

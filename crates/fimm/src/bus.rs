@@ -1,6 +1,7 @@
 //! The cluster-local shared ONFi bus.
 
 use triplea_flash::OnfiTiming;
+use triplea_sim::trace::{TraceEventKind, TracePort};
 use triplea_sim::{FifoResource, Nanos, Reservation, SimTime};
 
 /// The shared NV-DDR2 channel connecting a cluster's FIMMs to its PCI-E
@@ -15,6 +16,7 @@ pub struct OnfiBus {
     res: FifoResource,
     transfers: u64,
     bytes: u64,
+    trace: TracePort,
 }
 
 impl OnfiBus {
@@ -25,7 +27,15 @@ impl OnfiBus {
             res: FifoResource::new("onfi-bus"),
             transfers: 0,
             bytes: 0,
+            trace: TracePort::off(),
         }
+    }
+
+    /// Connects this bus to an event recorder; every arbitration win
+    /// (transfer or command cycle) is reported through `port` from then
+    /// on, stamped at the instant the bus was actually acquired.
+    pub fn attach_trace(&mut self, port: TracePort) {
+        self.trace = port;
     }
 
     /// Reserves the bus at `now` to move `bytes`, including the fixed
@@ -35,14 +45,30 @@ impl OnfiBus {
         let dur = self.timing.dma_nanos(bytes) + self.timing.cmd_overhead;
         self.transfers += 1;
         self.bytes += bytes;
-        self.res.reserve(now, dur)
+        let r = self.res.reserve(now, dur);
+        self.trace.emit_at(r.start, || {
+            TraceEventKind::BusAcquire {
+                wait_ns: r.wait,
+                dur_ns: r.end - r.start,
+                bytes,
+            }
+        });
+        r
     }
 
     /// Reserves the bus for a command-only cycle (no payload), e.g. the
     /// command/address phase of a read before the die starts.
     pub fn command_cycle(&mut self, now: SimTime) -> Reservation {
         self.transfers += 1;
-        self.res.reserve(now, self.timing.cmd_overhead)
+        let r = self.res.reserve(now, self.timing.cmd_overhead);
+        self.trace.emit_at(r.start, || {
+            TraceEventKind::BusAcquire {
+                wait_ns: r.wait,
+                dur_ns: r.end - r.start,
+                bytes: 0,
+            }
+        });
+        r
     }
 
     /// `t_DMA` for `bytes` on this bus (excluding command overhead).

@@ -4,6 +4,7 @@ use triplea_flash::{
     FlashCommand, FlashError, FlashFaultProfile, FlashGeometry, FlashTiming, OpTiming, Package,
     PackageFaultStats, PageAddr, WearReport,
 };
+use triplea_sim::trace::{TraceEventKind, TracePort};
 use triplea_sim::SimTime;
 
 /// What happens to a FIMM when its scheduled fault fires.
@@ -54,6 +55,8 @@ pub struct Fimm {
     /// the simulation clock passes `at`; faults are permanent.
     fault: Option<(SimTime, FimmFaultKind)>,
     slowdown_applied: bool,
+    dead_reported: bool,
+    trace: TracePort,
 }
 
 impl Fimm {
@@ -70,7 +73,20 @@ impl Fimm {
                 .collect(),
             fault: None,
             slowdown_applied: false,
+            dead_reported: false,
+            trace: TracePort::off(),
         }
+    }
+
+    /// Connects this module (and every package on it) to an event
+    /// recorder. Per-package flash operations are scoped by package index
+    /// under the module's `port` scope; module-level fault firings are
+    /// reported at module scope.
+    pub fn attach_trace(&mut self, port: TracePort) {
+        for (i, p) in self.packages.iter_mut().enumerate() {
+            p.attach_trace(port.with_scope(port.scope().unit(i as u32)));
+        }
+        self.trace = port;
     }
 
     /// Schedules a permanent whole-module fault to fire at `at`.
@@ -122,7 +138,22 @@ impl Fimm {
                     p.set_latency_scale(scale);
                 }
                 self.slowdown_applied = true;
+                self.trace.emit(|| TraceEventKind::FaultInjected {
+                    domain: "fimm",
+                    detail: "slowdown",
+                });
             }
+        }
+    }
+
+    /// Reports a dead-module refusal through the trace port (once).
+    fn report_dead(&mut self) {
+        if !self.dead_reported {
+            self.dead_reported = true;
+            self.trace.emit(|| TraceEventKind::FaultInjected {
+                domain: "fimm",
+                detail: "dead",
+            });
         }
     }
 
@@ -198,6 +229,7 @@ impl Fimm {
         cmd: &FlashCommand,
     ) -> Result<OpTiming, FlashError> {
         if self.is_dead_at(now) {
+            self.report_dead();
             return Err(FlashError::ModuleFailed);
         }
         self.fire_due_faults(now);
@@ -213,6 +245,7 @@ impl Fimm {
         cmd: &FlashCommand,
     ) -> Result<OpTiming, FlashError> {
         if self.is_dead_at(now) {
+            self.report_dead();
             return Err(FlashError::ModuleFailed);
         }
         self.fire_due_faults(now);

@@ -1,6 +1,8 @@
-//! FTL error type.
+//! FTL error types.
 
 use triplea_pcie::ClusterId;
+
+use crate::shape::{LogicalPage, PhysLoc};
 
 /// Errors surfaced by the host-side flash translation layer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -31,6 +33,109 @@ impl std::fmt::Display for FtlError {
 }
 
 impl std::error::Error for FtlError {}
+
+/// A metadata-integrity violation found by
+/// [`Ftl::verify_integrity`](crate::Ftl::verify_integrity), identifying
+/// exactly which logical page and physical location diverged.
+///
+/// The [`Display`](std::fmt::Display) rendering matches the prose the
+/// checker has always produced, so log scrapers keep working; the typed
+/// fields let callers dispatch on the failure class instead of parsing
+/// strings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IntegrityError {
+    /// An LPN's mapped location falls outside the array geometry.
+    OutOfRange {
+        /// The logical page whose mapping is bad.
+        lpn: LogicalPage,
+        /// Where the map (incorrectly) points.
+        loc: PhysLoc,
+    },
+    /// Two LPNs map to the same physical page — a duplication introduced
+    /// by writes, GC, migration, or fault rollback.
+    DoubleMapped {
+        /// The physical page claimed twice.
+        loc: PhysLoc,
+        /// The LPN that was seen mapping there first.
+        first: LogicalPage,
+        /// The LPN found mapping there second.
+        second: LogicalPage,
+    },
+    /// The map points at a page the block table does not record as
+    /// holding that LPN — the page's data was lost or overwritten.
+    LostPage {
+        /// The logical page whose data is unreachable.
+        lpn: LogicalPage,
+        /// Where the map points.
+        loc: PhysLoc,
+        /// What the block table records at that physical page, if
+        /// anything.
+        listed: Option<LogicalPage>,
+    },
+    /// A live block-table entry does not round-trip through the map: the
+    /// table lists the LPN at one place while the map points elsewhere.
+    StaleBlockEntry {
+        /// The logical page with the stale entry.
+        lpn: LogicalPage,
+        /// Global cluster index of the stale block-table entry.
+        cluster: u32,
+        /// FIMM index of the stale entry.
+        fimm: u32,
+        /// Package of the stale entry.
+        package: u32,
+        /// Die of the stale entry.
+        die: u32,
+        /// Block of the stale entry.
+        block: u32,
+        /// Page offset of the stale entry.
+        page: u32,
+        /// Where the map actually points for this LPN.
+        map_loc: PhysLoc,
+    },
+}
+
+impl std::fmt::Display for IntegrityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IntegrityError::OutOfRange { lpn, loc } => {
+                write!(f, "lpn {} maps outside the array: {loc}", lpn.0)
+            }
+            IntegrityError::DoubleMapped { loc, first, second } => {
+                write!(
+                    f,
+                    "physical page {loc} mapped by both lpn {} and lpn {}",
+                    first.0, second.0
+                )
+            }
+            IntegrityError::LostPage { lpn, loc, listed } => {
+                write!(
+                    f,
+                    "lpn {} maps to {loc} but the block table records {listed:?} there",
+                    lpn.0
+                )
+            }
+            IntegrityError::StaleBlockEntry {
+                lpn,
+                cluster,
+                fimm,
+                package,
+                die,
+                block,
+                page,
+                map_loc,
+            } => {
+                write!(
+                    f,
+                    "block table lists lpn {} live at ({cluster}, {fimm}, \
+                     ({package}, {die}, {block})) page {page} but the map points at {map_loc}",
+                    lpn.0
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for IntegrityError {}
 
 #[cfg(test)]
 mod tests {

@@ -3,9 +3,10 @@
 use std::collections::HashMap;
 
 use triplea_pcie::ClusterId;
+use triplea_sim::trace::{TraceEventKind, TracePort, TraceScope};
 
 use crate::alloc::{BlockKey, FimmAllocator};
-use crate::error::FtlError;
+use crate::error::{FtlError, IntegrityError};
 use crate::map::PageMap;
 use crate::mapcache::MappingCache;
 use crate::shape::{ArrayShape, LogicalPage, PhysLoc};
@@ -89,6 +90,9 @@ pub struct Ftl {
     gc_policy: GcPolicy,
     seal_seq: u64,
     stats: FtlStats,
+    /// Event-trace sink; detached (free) unless the embedding simulation
+    /// calls [`Ftl::attach_trace`].
+    trace: TracePort,
 }
 
 /// Why a page is being written; selects the stat bucket.
@@ -112,7 +116,14 @@ impl Ftl {
             gc_policy: GcPolicy::Greedy,
             seal_seq: 0,
             stats: FtlStats::default(),
+            trace: TracePort::off(),
         }
+    }
+
+    /// Connects this FTL to an event recorder; translation-cache misses
+    /// and GC victim picks are reported through `port` from then on.
+    pub fn attach_trace(&mut self, port: TracePort) {
+        self.trace = port;
     }
 
     /// Selects the GC victim-selection policy (default: greedy).
@@ -141,7 +152,13 @@ impl Ftl {
     pub fn map_access(&mut self, lpn: LogicalPage) -> bool {
         match &mut self.mapcache {
             None => true,
-            Some(c) => c.access(lpn.0),
+            Some(c) => {
+                let hit = c.access(lpn.0);
+                if !hit {
+                    self.trace.emit(|| TraceEventKind::MapMiss { lpn: lpn.0 });
+                }
+                hit
+            }
         }
     }
 
@@ -394,17 +411,18 @@ impl Ftl {
     /// every live block-table entry round-trips through the map. Together
     /// these prove no page was lost or duplicated by writes, GC,
     /// migration, or fault rollback.
-    pub fn verify_integrity(&self) -> Result<(), String> {
+    pub fn verify_integrity(&self) -> Result<(), IntegrityError> {
         let mut seen: HashMap<PhysLoc, LogicalPage> = HashMap::new();
         for (lpn, loc) in self.map.remapped_entries() {
             if !self.shape.contains(loc) {
-                return Err(format!("lpn {} maps outside the array: {loc}", lpn.0));
+                return Err(IntegrityError::OutOfRange { lpn, loc });
             }
             if let Some(prev) = seen.insert(loc, lpn) {
-                return Err(format!(
-                    "physical page {loc} mapped by both lpn {} and lpn {}",
-                    prev.0, lpn.0
-                ));
+                return Err(IntegrityError::DoubleMapped {
+                    loc,
+                    first: prev,
+                    second: lpn,
+                });
             }
             let gkey = (
                 self.shape.topology.global_index(loc.cluster),
@@ -416,10 +434,11 @@ impl Ftl {
                 .get(&gkey)
                 .and_then(|b| b.lpns.get(&loc.addr.page.page));
             if listed != Some(&lpn) {
-                return Err(format!(
-                    "lpn {} maps to {loc} but the block table records {listed:?} there",
-                    lpn.0
-                ));
+                return Err(IntegrityError::LostPage {
+                    lpn,
+                    loc,
+                    listed: listed.copied(),
+                });
             }
         }
         for ((c, f, key), b) in &self.blocks {
@@ -431,11 +450,16 @@ impl Ftl {
                     (loc.addr.package, loc.addr.page.die, loc.addr.page.block),
                 );
                 if here != (*c, *f, *key) || loc.addr.page.page != pg {
-                    return Err(format!(
-                        "block table lists lpn {} live at ({c}, {f}, {key:?}) page {pg} \
-                         but the map points at {loc}",
-                        lpn.0
-                    ));
+                    return Err(IntegrityError::StaleBlockEntry {
+                        lpn,
+                        cluster: *c,
+                        fimm: *f,
+                        package: key.0,
+                        die: key.1,
+                        block: key.2,
+                        page: pg,
+                        map_loc: loc,
+                    });
                 }
             }
         }
@@ -493,14 +517,20 @@ impl Ftl {
                 let mut live: Vec<(u32, LogicalPage)> =
                     b.lpns.iter().map(|(&pg, &l)| (pg, l)).collect();
                 live.sort_unstable_by_key(|&(pg, _)| pg);
-                GcWork {
+                let work = GcWork {
                     cluster,
                     fimm,
                     package: key.0,
                     die: key.1,
                     block: key.2,
                     valid: live.into_iter().map(|(_, l)| l).collect(),
-                }
+                };
+                self.trace
+                    .with_scope(TraceScope::fimm(gc, fimm))
+                    .emit(|| TraceEventKind::GcRun {
+                        valid_pages: work.valid.len() as u32,
+                    });
+                work
             })
     }
 
@@ -736,7 +766,11 @@ mod tests {
         // Simulate a buggy rollback that invalidates the live mapping.
         f.invalidate(loc);
         let err = f.verify_integrity().unwrap_err();
-        assert!(err.contains("block table records"), "{err}");
+        assert!(
+            matches!(err, IntegrityError::LostPage { lpn: l, .. } if l == lpn),
+            "{err}"
+        );
+        assert!(err.to_string().contains("block table records"), "{err}");
     }
 
     #[test]

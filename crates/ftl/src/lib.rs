@@ -48,7 +48,7 @@ mod mapcache;
 mod shape;
 
 pub use alloc::FimmAllocator;
-pub use error::FtlError;
+pub use error::{FtlError, IntegrityError};
 pub use ftl_impl::{Ftl, FtlStats, GcPolicy, GcWork};
 pub use hybrid::{HybridFtl, HybridStats};
 pub use layout::StripedLayout;

@@ -9,6 +9,8 @@
 
 use std::collections::VecDeque;
 
+use triplea_sim::trace::{TraceEventKind, TracePort};
+
 /// Result of attempting to enter a [`CreditQueue`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Admission {
@@ -44,6 +46,7 @@ pub struct CreditQueue {
     total_admitted: u64,
     total_queued: u64,
     full_events: u64,
+    trace: TracePort,
 }
 
 impl CreditQueue {
@@ -63,7 +66,14 @@ impl CreditQueue {
             total_admitted: 0,
             total_queued: 0,
             full_events: 0,
+            trace: TracePort::off(),
         }
+    }
+
+    /// Connects this buffer to an event recorder; admissions that find
+    /// the buffer full are reported through `port` at the recorder clock.
+    pub fn attach_trace(&mut self, port: TracePort) {
+        self.trace = port;
     }
 
     /// Requests a credit for `id`. On `Queued`, the caller must suspend
@@ -78,6 +88,10 @@ impl CreditQueue {
             self.full_events += 1;
             self.total_queued += 1;
             self.waiters.push_back(id);
+            self.trace.emit(|| TraceEventKind::QueueFull {
+                occupied: self.occupied,
+                waiting: self.waiters.len(),
+            });
             Admission::Queued
         }
     }

@@ -6,7 +6,7 @@
 //! tests use:
 //!
 //! * [`Strategy`](strategy::Strategy) implemented for integer ranges, tuples
-//!   of strategies, plus [`Strategy::prop_map`];
+//!   of strategies, plus [`prop_map`](strategy::Strategy::prop_map);
 //! * [`collection::vec`] and [`bool::weighted`];
 //! * the [`proptest!`], [`prop_compose!`], [`prop_assert!`] and
 //!   [`prop_assert_eq!`] macros;

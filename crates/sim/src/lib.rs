@@ -8,11 +8,17 @@
 //! * [`EventQueue`] — a stable priority queue of timestamped events.
 //! * [`SplitMix64`] — a tiny, seedable PRNG for tie-breaking decisions
 //!   inside the simulator (workload generation uses `rand` instead).
-//! * [`stats`] — latency histograms, CDF extraction, utilization meters,
-//!   and time-series samplers used to produce the paper's tables/figures.
+//! * [`stats`] — latency histograms, CDF extraction, utilization
+//!   trackers, and time-series samplers used to produce the paper's
+//!   tables/figures.
 //! * [`resource::FifoResource`] — the *busy-until* primitive that models
 //!   serially shared hardware (PCI-E links, the cluster-local ONFi bus,
 //!   NAND dies) and attributes waiting time to contention.
+//! * [`trace`] — the array-wide event-tracing subsystem: a
+//!   zero-cost-when-disabled ring-buffer [`trace::Recorder`] of typed
+//!   [`trace::TraceEvent`]s plus a [`trace::MetricRegistry`] of
+//!   per-component instruments, exported as byte-stable JSON and Chrome
+//!   `trace_event` format.
 //!
 //! # Example
 //!
@@ -35,8 +41,13 @@ mod time;
 
 pub mod resource;
 pub mod stats;
+pub mod trace;
 
 pub use queue::EventQueue;
 pub use resource::{FifoResource, MultiResource, Reservation};
 pub use rng::SplitMix64;
 pub use time::{Nanos, SimTime};
+pub use trace::{
+    Metric, MetricRegistry, Recorder, RunTrace, SharedRecorder, TraceConfig, TraceEvent,
+    TraceEventKind, TracePort, TraceScope,
+};

@@ -7,7 +7,7 @@
 //! attributed to the requester. Reservations are granted in call order,
 //! which matches FIFO arbitration.
 
-use crate::stats::UtilizationMeter;
+use crate::stats::UtilizationTracker;
 use crate::time::{Nanos, SimTime};
 
 /// Outcome of reserving a resource: when service starts/ends and how long
@@ -40,7 +40,7 @@ pub struct Reservation {
 pub struct FifoResource {
     name: &'static str,
     free_at: SimTime,
-    util: UtilizationMeter,
+    util: UtilizationTracker,
 }
 
 impl FifoResource {
@@ -49,7 +49,7 @@ impl FifoResource {
         FifoResource {
             name,
             free_at: SimTime::ZERO,
-            util: UtilizationMeter::new(),
+            util: UtilizationTracker::new(),
         }
     }
 

@@ -27,7 +27,9 @@ const BUCKETS: usize = 1920;
 /// }
 /// assert_eq!(h.count(), 4);
 /// assert!(h.percentile(0.5) >= 200);
-/// assert!((h.mean() - 250.0).abs() < 1e-9);
+/// // Percentiles are upper bounds on the true quantile, and the top
+/// // quantile is exact:
+/// assert_eq!(h.percentile(1.0), h.max());
 /// ```
 #[derive(Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Histogram {
@@ -71,6 +73,12 @@ impl Histogram {
         }
     }
 
+    /// Largest value that lands in bucket `idx` — one below the next
+    /// bucket's lower bound.
+    fn bucket_high(idx: usize) -> u64 {
+        Self::bucket_low(idx + 1) - 1
+    }
+
     /// Records one value.
     pub fn record(&mut self, v: u64) {
         self.counts[Self::index(v)] += 1;
@@ -112,7 +120,12 @@ impl Histogram {
         }
     }
 
-    /// Value at quantile `p` in `[0, 1]` (bucket lower bound; ~3% error).
+    /// Value at quantile `p` in `[0, 1]`: `>=` the true percentile, within
+    /// the resolution of the bucketing (~3% relative error).
+    ///
+    /// The result is the *upper* bound of the bucket holding the target
+    /// rank, clamped to the recorded maximum — so it never understates
+    /// the quantile, and `percentile(1.0) == max()` holds exactly.
     ///
     /// Returns 0 when the histogram is empty.
     pub fn percentile(&self, p: f64) -> u64 {
@@ -124,7 +137,7 @@ impl Histogram {
         for (i, &c) in self.counts.iter().enumerate() {
             acc += c;
             if acc >= target {
-                return Self::bucket_low(i).min(self.max);
+                return Self::bucket_high(i).min(self.max);
             }
         }
         self.max
@@ -184,7 +197,7 @@ impl std::fmt::Debug for Histogram {
 /// reservation); pending work counts as busy, which is exactly the signal
 /// the cold-cluster test wants.
 #[derive(Clone, Debug)]
-pub struct UtilizationMeter {
+pub struct UtilizationTracker {
     busy: Nanos,
     window: Nanos,
     cur_window: u64,
@@ -192,10 +205,10 @@ pub struct UtilizationMeter {
     busy_prev: Nanos,
 }
 
-/// Default sliding-window width for [`UtilizationMeter`]: 100 µs.
+/// Default sliding-window width for [`UtilizationTracker`]: 100 µs.
 pub const DEFAULT_UTIL_WINDOW: Nanos = 100_000;
 
-impl UtilizationMeter {
+impl UtilizationTracker {
     /// Creates a meter with the default 100 µs sliding window.
     pub fn new() -> Self {
         Self::with_window(DEFAULT_UTIL_WINDOW)
@@ -208,7 +221,7 @@ impl UtilizationMeter {
     /// Panics if `window == 0`.
     pub fn with_window(window: Nanos) -> Self {
         assert!(window > 0, "window must be positive");
-        UtilizationMeter {
+        UtilizationTracker {
             busy: 0,
             window,
             cur_window: 0,
@@ -298,23 +311,23 @@ impl UtilizationMeter {
     }
 }
 
-impl Default for UtilizationMeter {
+impl Default for UtilizationTracker {
     fn default() -> Self {
-        UtilizationMeter::new()
+        UtilizationTracker::new()
     }
 }
 
 /// A time-series sampler: `(instant, value)` pairs, e.g. the per-request
 /// latency series of Figure 16.
 #[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
-pub struct Series {
+pub struct TimeSeries {
     points: Vec<(SimTime, f64)>,
 }
 
-impl Series {
+impl TimeSeries {
     /// Creates an empty series.
     pub fn new() -> Self {
-        Series { points: Vec::new() }
+        TimeSeries { points: Vec::new() }
     }
 
     /// Appends a sample.
@@ -443,7 +456,7 @@ mod tests {
 
     #[test]
     fn utilization_cumulative() {
-        let mut m = UtilizationMeter::new();
+        let mut m = UtilizationTracker::new();
         m.add_busy(SimTime::ZERO, 25_000);
         assert!((m.utilization(SimTime::from_nanos(100_000)) - 0.25).abs() < 1e-9);
         assert_eq!(m.busy_nanos(), 25_000);
@@ -451,7 +464,7 @@ mod tests {
 
     #[test]
     fn windowed_utilization_decays() {
-        let mut m = UtilizationMeter::with_window(1_000);
+        let mut m = UtilizationTracker::with_window(1_000);
         m.add_busy(SimTime::ZERO, 1_000); // saturate window 0
         let early = m.windowed_utilization(SimTime::from_nanos(1_100));
         assert!(early > 0.8, "just after busy window: {early}");
@@ -461,7 +474,7 @@ mod tests {
 
     #[test]
     fn busy_spanning_windows_splits() {
-        let mut m = UtilizationMeter::with_window(1_000);
+        let mut m = UtilizationTracker::with_window(1_000);
         // 2_000ns of busy across windows 0 and 1
         m.add_busy(SimTime::from_nanos(500), 2_000);
         let u = m.windowed_utilization(SimTime::from_nanos(2_400));
@@ -470,7 +483,7 @@ mod tests {
 
     #[test]
     fn series_thin_preserves_bounds() {
-        let mut s = Series::new();
+        let mut s = TimeSeries::new();
         for i in 0..1_000 {
             s.push(SimTime::from_nanos(i), i as f64);
         }

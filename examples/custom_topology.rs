@@ -30,15 +30,20 @@ fn main() {
 
     println!("-- network width sweep (SLC flash) --");
     for cps in [4u32, 8, 16, 20] {
-        let cfg = ArrayConfig::paper_baseline().with_clusters_per_switch(cps);
+        let cfg = ArrayConfig::builder()
+            .clusters_per_switch(cps)
+            .build()
+            .expect("valid topology");
         let (iops, lat) = gain(cfg);
         println!("  4x{cps:<3} IOPS gain {iops:5.2}x   latency ratio {lat:5.2}");
     }
 
     println!("\n-- flash generation sweep (4x16) --");
     for (name, timing) in [("slc", FlashTiming::default()), ("mlc", FlashTiming::mlc())] {
-        let mut cfg = ArrayConfig::paper_baseline();
-        cfg.flash_timing = timing;
+        let cfg = ArrayConfig::builder()
+            .tune(|c| c.flash_timing = timing)
+            .build()
+            .expect("valid timing");
         let (iops, lat) = gain(cfg);
         println!("  {name:<4} IOPS gain {iops:5.2}x   latency ratio {lat:5.2}");
     }

@@ -9,6 +9,15 @@ fn small() -> ArrayConfig {
     ArrayConfig::small_test()
 }
 
+/// Validated variant of [`small`] for tests that tweak fields: routes
+/// the edit through the cross-field-checking builder.
+fn small_with(f: impl FnOnce(&mut ArrayConfig)) -> ArrayConfig {
+    ArrayConfig::small_builder()
+        .tune(f)
+        .build()
+        .expect("test configuration validates")
+}
+
 #[test]
 fn hot_cluster_read_storm_full_paper_shape() {
     let cfg = small();
@@ -124,9 +133,10 @@ fn migration_accounting_is_consistent() {
 #[test]
 fn wear_and_gc_kick_in_under_sustained_overwrites() {
     // Tiny flash: hammer one small region with overwrites until GC runs.
-    let mut cfg = small();
-    cfg.shape.flash.blocks_per_plane = 8;
-    cfg.gc_threshold_blocks = 64;
+    let cfg = small_with(|c| {
+        c.shape.flash.blocks_per_plane = 8;
+        c.gc_threshold_blocks = 64;
+    });
     let trace = Microbench::write()
         .hot_clusters(1)
         .region_pages(64)

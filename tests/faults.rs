@@ -17,6 +17,15 @@ fn small() -> ArrayConfig {
     ArrayConfig::small_test()
 }
 
+/// Validated variant of [`small`] for tests that tweak fields: routes
+/// the edit through the cross-field-checking builder.
+fn small_with(f: impl FnOnce(&mut ArrayConfig)) -> ArrayConfig {
+    ArrayConfig::small_builder()
+        .tune(f)
+        .build()
+        .expect("test configuration validates")
+}
+
 fn hot_read_trace(cfg: &ArrayConfig) -> triple_a::core::Trace {
     Microbench::read()
         .hot_clusters(1)
@@ -48,20 +57,21 @@ fn zero_rate_fault_config_is_transparent() {
 /// A different seed must (for these rates) fault differently.
 #[test]
 fn nonzero_fault_runs_are_deterministic() {
-    let mut cfg = small();
-    cfg.faults = FaultConfig {
-        flash: FlashFaultProfile {
-            read_transient_prob: 0.02,
-            prog_fail_prob: 0.001,
-            erase_fail_prob: 0.001,
-        },
-        pcie: PcieFaultProfile {
-            corrupt_prob: 0.005,
-            replay_ns: 600,
-        },
-        seed: 7,
-        ..FaultConfig::default()
-    };
+    let cfg = small_with(|c| {
+        c.faults = FaultConfig {
+            flash: FlashFaultProfile {
+                read_transient_prob: 0.02,
+                prog_fail_prob: 0.001,
+                erase_fail_prob: 0.001,
+            },
+            pcie: PcieFaultProfile {
+                corrupt_prob: 0.005,
+                replay_ns: 600,
+            },
+            seed: 7,
+            ..FaultConfig::default()
+        };
+    });
     let trace = hot_read_trace(&cfg);
     let a = Array::new(cfg, ManagementMode::Autonomic).run(&trace);
     let b = Array::new(cfg, ManagementMode::Autonomic).run(&trace);
@@ -83,9 +93,10 @@ fn nonzero_fault_runs_are_deterministic() {
 /// still completes and the ECC-retry count is visible in the report.
 #[test]
 fn transient_read_faults_retry_and_complete() {
-    let mut cfg = small();
-    cfg.faults.flash.read_transient_prob = 0.05;
-    cfg.faults.seed = 11;
+    let cfg = small_with(|c| {
+        c.faults.flash.read_transient_prob = 0.05;
+        c.faults.seed = 11;
+    });
     let trace = hot_read_trace(&cfg);
     let report = Array::new(cfg, ManagementMode::NonAutonomic).run(&trace);
     assert_eq!(report.completed(), trace.len() as u64);
@@ -97,18 +108,18 @@ fn transient_read_faults_retry_and_complete() {
 /// must fire and reshaping move pages off the slow module.
 #[test]
 fn slowdown_fault_triggers_laggard_detection() {
-    let mut cfg = small();
-    cfg.faults = FaultConfig::default().with_fimm_event(FimmFaultEvent {
-        cluster: 0,
-        fimm: 0,
-        at_ns: 200_000,
-        kind: FimmFaultKind::Slowdown(8),
+    let cfg = small_with(|c| {
+        c.faults = FaultConfig::default().with_fimm_event(FimmFaultEvent {
+            cluster: 0,
+            fimm: 0,
+            at_ns: 200_000,
+            kind: FimmFaultKind::Slowdown(8),
+        });
     });
     let trace = hot_read_trace(&cfg);
 
     let faulty = Array::new(cfg, ManagementMode::Autonomic).run(&trace);
-    let mut clean_cfg = small();
-    clean_cfg.autonomic = cfg.autonomic;
+    let clean_cfg = small_with(|c| c.autonomic = cfg.autonomic);
     let clean = Array::new(clean_cfg, ManagementMode::Autonomic).run(&trace);
 
     assert_eq!(faulty.completed(), trace.len() as u64);
@@ -125,19 +136,21 @@ fn slowdown_fault_triggers_laggard_detection() {
 /// still completes every request and the FTL metadata stays coherent.
 #[test]
 fn dead_fimm_degrades_reads_and_preserves_integrity() {
-    let mut cfg = small();
-    cfg.faults = FaultConfig::default().with_fimm_event(FimmFaultEvent {
-        cluster: 0,
-        fimm: 1,
-        at_ns: 500_000,
-        kind: FimmFaultKind::Dead,
+    let cfg = small_with(|c| {
+        c.faults = FaultConfig::default().with_fimm_event(FimmFaultEvent {
+            cluster: 0,
+            fimm: 1,
+            at_ns: 500_000,
+            kind: FimmFaultKind::Dead,
+        });
     });
     let trace = hot_read_trace(&cfg);
-    let (report, integrity) = Array::new(cfg, ManagementMode::Autonomic).run_verified(&trace);
-    assert_eq!(report.completed(), trace.len() as u64);
-    assert_eq!(report.fault_stats().fimm_deaths, 1);
-    assert!(report.fault_stats().degraded_reads > 0);
-    integrity.expect("FTL metadata must stay coherent after a module death");
+    let run = Array::new(cfg, ManagementMode::Autonomic).run_verified(&trace);
+    assert_eq!(run.report.completed(), trace.len() as u64);
+    assert_eq!(run.report.fault_stats().fimm_deaths, 1);
+    assert!(run.report.fault_stats().degraded_reads > 0);
+    run.integrity
+        .expect("FTL metadata must stay coherent after a module death");
 }
 
 /// Program failures during relocation force migration rollback; the
@@ -145,31 +158,34 @@ fn dead_fimm_degrades_reads_and_preserves_integrity() {
 /// and the failed blocks are retired.
 #[test]
 fn program_failures_roll_back_migrations_without_losing_pages() {
-    let mut cfg = small();
-    cfg.faults.flash.prog_fail_prob = 0.01;
-    cfg.faults.seed = 5;
+    let cfg = small_with(|c| {
+        c.faults.flash.prog_fail_prob = 0.01;
+        c.faults.seed = 5;
+    });
     let trace = Microbench::read()
         .hot_clusters(1)
         .requests(8_000)
         .gap_ns(1_300)
         .build(&cfg, 37);
-    let (report, integrity) = Array::new(cfg, ManagementMode::Autonomic).run_verified(&trace);
-    assert_eq!(report.completed(), trace.len() as u64);
-    assert!(report.fault_stats().prog_failures > 0);
-    assert!(report.fault_stats().blocks_retired_by_fault > 0);
-    integrity.expect("no page lost or duplicated across fault rollbacks");
+    let run = Array::new(cfg, ManagementMode::Autonomic).run_verified(&trace);
+    assert_eq!(run.report.completed(), trace.len() as u64);
+    assert!(run.report.fault_stats().prog_failures > 0);
+    assert!(run.report.fault_stats().blocks_retired_by_fault > 0);
+    run.integrity
+        .expect("no page lost or duplicated across fault rollbacks");
 }
 
 /// TLP corruption adds replay latency but never corrupts results: the
 /// run completes, replays are counted, and the run stays deterministic.
 #[test]
 fn pcie_corruption_replays_and_completes() {
-    let mut cfg = small();
-    cfg.faults.pcie = PcieFaultProfile {
-        corrupt_prob: 0.01,
-        replay_ns: 800,
-    };
-    cfg.faults.seed = 13;
+    let cfg = small_with(|c| {
+        c.faults.pcie = PcieFaultProfile {
+            corrupt_prob: 0.01,
+            replay_ns: 800,
+        };
+        c.faults.seed = 13;
+    });
     let trace = hot_read_trace(&cfg);
     let report = Array::new(cfg, ManagementMode::NonAutonomic).run(&trace);
     assert_eq!(report.completed(), trace.len() as u64);

@@ -11,6 +11,15 @@ fn small() -> ArrayConfig {
     ArrayConfig::small_test()
 }
 
+/// Validated variant of [`small`] for tests that tweak fields: routes
+/// the edit through the cross-field-checking builder.
+fn small_with(f: impl FnOnce(&mut ArrayConfig)) -> ArrayConfig {
+    ArrayConfig::small_builder()
+        .tune(f)
+        .build()
+        .expect("test configuration validates")
+}
+
 #[test]
 fn csv_roundtrip_preserves_simulation_results() {
     let cfg = small();
@@ -63,10 +72,11 @@ fn bursty_arrivals_run_and_idle_gaps_show_up() {
 #[test]
 fn gc_policies_all_survive_sustained_overwrites() {
     for policy in [GcPolicy::Greedy, GcPolicy::CostBenefit, GcPolicy::Fifo] {
-        let mut cfg = small();
-        cfg.shape.flash.blocks_per_plane = 8;
-        cfg.gc_threshold_blocks = 8;
-        cfg.gc_policy = policy;
+        let cfg = small_with(|c| {
+            c.shape.flash.blocks_per_plane = 8;
+            c.gc_threshold_blocks = 8;
+            c.gc_policy = policy;
+        });
         let trace = Microbench::write()
             .hot_clusters(1)
             .region_pages(64)
@@ -82,8 +92,7 @@ fn gc_policies_all_survive_sustained_overwrites() {
 #[test]
 fn mlc_and_slc_generations_both_run_autonomic() {
     for timing in [FlashTiming::default(), FlashTiming::mlc()] {
-        let mut cfg = small();
-        cfg.flash_timing = timing;
+        let cfg = small_with(|c| c.flash_timing = timing);
         let trace = Microbench::read()
             .hot_clusters(1)
             .requests(5_000)
@@ -96,8 +105,7 @@ fn mlc_and_slc_generations_both_run_autonomic() {
 
 #[test]
 fn mapping_cache_hit_rate_reported_through_ftl() {
-    let mut cfg = small();
-    cfg.mapping_cache_pages = 64;
+    let cfg = small_with(|c| c.mapping_cache_pages = 64);
     let trace = Microbench::read()
         .hot_clusters(1)
         .region_pages(256)

@@ -12,7 +12,8 @@ use triplea_core::{Array, ArrayConfig, ManagementMode};
 use triplea_flash::{FlashCommand, FlashGeometry, FlashTiming, Package, PageAddr};
 use triplea_ftl::{hal, ArrayShape, Ftl, HybridFtl, LogicalPage, MappingCache};
 use triplea_sim::stats::Histogram;
-use triplea_sim::{EventQueue, SimTime, SplitMix64};
+use triplea_sim::trace::{SharedRecorder, TraceConfig, TraceEventKind, TracePort, TraceScope};
+use triplea_sim::{BaselineHeapQueue, EventQueue, SimTime, SplitMix64};
 use triplea_workloads::{Microbench, Zipfian};
 
 fn bench_event_queue(c: &mut Criterion) {
@@ -27,6 +28,69 @@ fn bench_event_queue(c: &mut Criterion) {
                 acc = acc.wrapping_add(v);
             }
             black_box(acc)
+        })
+    });
+    // The pre-overhaul global heap, raced on the same traffic so the
+    // calendar queue's margin is visible in one report.
+    c.bench_function("baseline_heap_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = BaselineHeapQueue::new();
+            for i in 0..10_000u64 {
+                q.push(SimTime::from_nanos(i * 37 % 10_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        })
+    });
+    // Simulation-shaped traffic: a sliding now-frontier with short
+    // scheduling deltas, the pattern the bucket ring is built for.
+    c.bench_function("event_queue_sliding_window_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut now = 0u64;
+            let mut acc = 0u64;
+            for round in 0..10u64 {
+                for i in 0..1_000u64 {
+                    q.push(SimTime::from_nanos(now + (i * 131) % 25_000), round * 1_000 + i);
+                }
+                for _ in 0..1_000 {
+                    let (t, v) = q.pop().expect("pushed above");
+                    now = t.as_nanos();
+                    acc = acc.wrapping_add(v);
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_trace_emit(c: &mut Criterion) {
+    // The disabled path every untraced run takes at every emit site:
+    // must stay at one branch, payload closures never built.
+    c.bench_function("trace_emit_disabled_10k", |b| {
+        let port = TracePort::off();
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                port.emit(|| {
+                    acc = acc.wrapping_add(1);
+                    TraceEventKind::MapMiss { lpn: i }
+                });
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("trace_emit_enabled_10k", |b| {
+        let rec = SharedRecorder::new(TraceConfig::all());
+        let port = TracePort::attached(rec, TraceScope::fimm(1, 2));
+        b.iter(|| {
+            for i in 0..10_000u64 {
+                port.emit(|| TraceEventKind::MapMiss { lpn: i });
+            }
+            black_box(port.is_enabled())
         })
     });
 }
@@ -48,6 +112,28 @@ fn bench_ftl(c: &mut Criterion) {
     c.bench_function("ftl_locate_10k", |b| {
         let ftl = Ftl::new(shape);
         let total = shape.total_pages();
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                acc ^= ftl.locate(LogicalPage(i * 131 % total)).addr.page.block as u64;
+            }
+            black_box(acc)
+        })
+    });
+    // Locate through live overrides: dense segments where writes
+    // clustered, sparse entries where they scattered — the page-map
+    // hybrid's two lookup paths, vs the home-mapped arithmetic above.
+    c.bench_function("ftl_locate_remapped_10k", |b| {
+        let mut ftl = Ftl::new(shape);
+        let total = shape.total_pages();
+        // A clustered run (dense segments) plus a scattered tail
+        // (sparse entries).
+        for i in 0..2_000u64 {
+            ftl.write_alloc(LogicalPage(i % total), None).unwrap();
+        }
+        for i in 0..500u64 {
+            ftl.write_alloc(LogicalPage((i * 8_191) % total), None).unwrap();
+        }
         b.iter(|| {
             let mut acc = 0u64;
             for i in 0..10_000u64 {
@@ -180,6 +266,7 @@ fn bench_new_components(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_event_queue,
+    bench_trace_emit,
     bench_histogram,
     bench_ftl,
     bench_flash,

@@ -19,6 +19,7 @@ mod fig14;
 mod fig15;
 mod fig16;
 mod ftl_compare;
+pub mod perf;
 mod table1;
 mod table2;
 mod timeline;

@@ -83,7 +83,7 @@ fn traced_run(mode: ManagementMode, requests: usize, seed: u64, full_exports: bo
         rt.metrics
             .sorted()
             .into_iter()
-            .map(|(name, m)| (name.clone(), metric_value(m)))
+            .map(|(name, m)| (name.to_string(), metric_value(m)))
             .collect(),
     );
     let mut fields = vec![

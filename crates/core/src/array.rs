@@ -14,7 +14,8 @@ use triplea_ftl::{hal, Ftl, FtlError, IntegrityError, LogicalPage};
 use triplea_pcie::{Admission, ClusterId, RootComplex, Switch};
 use triplea_sim::stats::{Histogram, TimeSeries};
 use triplea_sim::trace::{
-    MetricRegistry, RunTrace, SharedRecorder, TraceConfig, TraceEventKind, TracePort, TraceScope,
+    MetricId, MetricRegistry, RunTrace, SharedRecorder, TraceConfig, TraceEventKind, TracePort,
+    TraceScope,
 };
 use triplea_sim::{EventQueue, Nanos, SimTime};
 
@@ -93,6 +94,84 @@ struct Reloc {
     remaining: u32,
 }
 
+/// Per-cluster metric handles, pre-interned at wiring time.
+#[derive(Clone, Debug)]
+struct ClusterMetricIds {
+    bus_utilization: MetricId,
+    bus_bytes: MetricId,
+    served: MetricId,
+    relocs_in: MetricId,
+    ep_high_watermark: MetricId,
+    /// One `cluster.N.fimm.M.queue_depth` handle per FIMM.
+    fimm_queue_depth: Vec<MetricId>,
+}
+
+/// Metric handles resolved once in [`Array::with_recorder`], so the
+/// end-of-run harvest is a sequence of indexed stores — no per-harvest
+/// name formatting, interning, or re-sorting (the registry's sorted
+/// index is built here too and merely cloned at harvest).
+#[derive(Clone, Debug)]
+struct EngineMetrics {
+    /// The registry with every name interned (all slots still unset).
+    registry: MetricRegistry,
+    events: MetricId,
+    completed: MetricId,
+    dropped_writes: MetricId,
+    latency: MetricId,
+    read_latency: MetricId,
+    write_latency: MetricId,
+    clusters: Vec<ClusterMetricIds>,
+    /// Per-switch `(uplink.bytes, uplink.replays)` handles.
+    switches: Vec<(MetricId, MetricId)>,
+}
+
+impl EngineMetrics {
+    /// Interns every instrument name the engine harvests, sized from the
+    /// built topology (`fimms[g]` = FIMM count of cluster `g`).
+    fn new(fimms: &[usize], switches: usize) -> Self {
+        let mut registry = MetricRegistry::new();
+        let events = registry.intern("array.events");
+        let completed = registry.intern("array.completed");
+        let dropped_writes = registry.intern("array.dropped_writes");
+        let latency = registry.intern("array.latency");
+        let read_latency = registry.intern("array.read_latency");
+        let write_latency = registry.intern("array.write_latency");
+        let clusters = fimms
+            .iter()
+            .enumerate()
+            .map(|(g, &n)| ClusterMetricIds {
+                bus_utilization: registry.intern(format!("cluster.{g}.bus.utilization")),
+                bus_bytes: registry.intern(format!("cluster.{g}.bus.bytes")),
+                served: registry.intern(format!("cluster.{g}.served")),
+                relocs_in: registry.intern(format!("cluster.{g}.relocs_in")),
+                ep_high_watermark: registry.intern(format!("cluster.{g}.ep_queue.high_watermark")),
+                fimm_queue_depth: (0..n)
+                    .map(|f| registry.intern(format!("cluster.{g}.fimm.{f}.queue_depth")))
+                    .collect(),
+            })
+            .collect();
+        let switches = (0..switches)
+            .map(|s| {
+                (
+                    registry.intern(format!("switch.{s}.uplink.bytes")),
+                    registry.intern(format!("switch.{s}.uplink.replays")),
+                )
+            })
+            .collect();
+        EngineMetrics {
+            registry,
+            events,
+            completed,
+            dropped_writes,
+            latency,
+            read_latency,
+            write_latency,
+            clusters,
+            switches,
+        }
+    }
+}
+
 struct Engine {
     cfg: ArrayConfig,
     mode: ManagementMode,
@@ -133,6 +212,8 @@ struct Engine {
     /// The recorder harvested at the end of a traced run; `None` keeps
     /// the run byte-identical to untraced builds.
     recorder: Option<SharedRecorder>,
+    /// Pre-interned metric handles; `Some` exactly when `recorder` is.
+    metric_ids: Option<Box<EngineMetrics>>,
 }
 
 /// The outcome of [`Array::run_verified`]: the performance report, the
@@ -238,6 +319,7 @@ impl Array {
                 faults: FaultStats::default(),
                 trace: TracePort::off(),
                 recorder: None,
+                metric_ids: None,
                 mode,
                 cfg,
             },
@@ -279,6 +361,8 @@ impl Array {
                 fimm.attach_trace(port(TraceScope::fimm(g, f as u32)));
             }
         }
+        let fimms: Vec<usize> = e.clusters.iter().map(|cl| cl.fimms.len()).collect();
+        e.metric_ids = Some(Box::new(EngineMetrics::new(&fimms, e.switches.len())));
         e.recorder = Some(rec);
         self
     }
@@ -1545,41 +1629,38 @@ impl Engine {
 
     /// Harvests the recorder and the per-component instruments into a
     /// [`RunTrace`]. Metric names are hierarchical and stable
-    /// (`cluster.N.fimm.M.queue_depth`); the registry sorts by name at
-    /// export, so harvest order never leaks into artifact bytes.
+    /// (`cluster.N.fimm.M.queue_depth`); every name was interned into a
+    /// [`MetricId`] when the recorder was attached, so the harvest is
+    /// indexed stores into a clone of that pre-built registry — no name
+    /// formatting here, and the export order was fixed at intern time.
     fn harvest_trace(&self) -> Option<RunTrace> {
         let rec = self.recorder.as_ref()?;
+        let ids = self.metric_ids.as_ref()?;
         let now = self.last_complete;
-        let mut m = MetricRegistry::new();
-        m.counter("array.events", self.events);
-        m.counter("array.completed", self.completed);
-        m.counter("array.dropped_writes", self.dropped_writes);
-        m.histogram("array.latency", &self.lat);
-        m.histogram("array.read_latency", &self.rlat);
-        m.histogram("array.write_latency", &self.wlat);
-        for (g, cl) in self.clusters.iter().enumerate() {
-            m.gauge(
-                format!("cluster.{g}.bus.utilization"),
-                cl.bus.utilization(now),
-            );
-            m.counter(format!("cluster.{g}.bus.bytes"), cl.bus.bytes_moved());
-            m.counter(format!("cluster.{g}.served"), cl.served);
-            m.counter(format!("cluster.{g}.relocs_in"), cl.relocs_in);
-            m.counter(
-                format!("cluster.{g}.ep_queue.high_watermark"),
-                cl.ep.queue.high_watermark() as u64,
-            );
-            for (f, s) in cl.qdepth.iter().enumerate() {
-                m.series(format!("cluster.{g}.fimm.{f}.queue_depth"), s, 512);
+        let mut m = ids.registry.clone();
+        m.set_counter(ids.events, self.events);
+        m.set_counter(ids.completed, self.completed);
+        m.set_counter(ids.dropped_writes, self.dropped_writes);
+        m.set_histogram(ids.latency, &self.lat);
+        m.set_histogram(ids.read_latency, &self.rlat);
+        m.set_histogram(ids.write_latency, &self.wlat);
+        for (cl, cids) in self.clusters.iter().zip(&ids.clusters) {
+            m.set_gauge(cids.bus_utilization, cl.bus.utilization(now));
+            m.set_counter(cids.bus_bytes, cl.bus.bytes_moved());
+            m.set_counter(cids.served, cl.served);
+            m.set_counter(cids.relocs_in, cl.relocs_in);
+            m.set_counter(cids.ep_high_watermark, cl.ep.queue.high_watermark() as u64);
+            for (s, &id) in cl.qdepth.iter().zip(&cids.fimm_queue_depth) {
+                m.set_series(id, s, 512);
             }
         }
-        for (s, sw) in self.switches.iter().enumerate() {
-            m.counter(
-                format!("switch.{s}.uplink.bytes"),
+        for (sw, &(bytes_id, replays_id)) in self.switches.iter().zip(&ids.switches) {
+            m.set_counter(
+                bytes_id,
                 sw.uplink.down.bytes_sent() + sw.uplink.up.bytes_sent(),
             );
-            m.counter(
-                format!("switch.{s}.uplink.replays"),
+            m.set_counter(
+                replays_id,
                 sw.uplink.down.replays() + sw.uplink.up.replays(),
             );
         }

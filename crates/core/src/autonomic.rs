@@ -5,7 +5,7 @@
 //! [`AutonomicState::pick_cold_sibling`]; the event-loop integration is
 //! in [`crate::array`].
 
-use std::collections::{HashMap, HashSet};
+use triplea_sim::{FxHashMap, FxHashSet};
 
 use triplea_pcie::{ClusterId, Topology};
 use triplea_sim::trace::{TraceEventKind, TracePort, TraceScope};
@@ -62,15 +62,22 @@ impl std::fmt::Display for AutonomicStats {
 }
 
 /// Mutable state of the autonomic manager during a run.
+///
+/// Iteration-order audit (these maps use the deterministic-but-
+/// arbitrary-order [`FxHashMap`]/[`FxHashSet`]): all three collections
+/// are accessed strictly by key — `insert`/`remove`/`get`/`len` — and
+/// never iterated, so no simulated decision can depend on hasher
+/// internals. Candidate scans (`pick_cold_sibling`) walk the topology's
+/// ordered sibling list, not a map.
 #[derive(Clone, Debug)]
 pub struct AutonomicState {
     params: AutonomicParams,
     /// Pages currently being migrated/reshaped (suppress duplicates).
-    inflight: HashSet<u64>,
+    inflight: FxHashSet<u64>,
     /// Per-(cluster, fimm) last laggard detection, for debouncing.
-    last_laggard: HashMap<(u32, u32), SimTime>,
+    last_laggard: FxHashMap<(u32, u32), SimTime>,
     /// Per-cluster last escalation, for debouncing.
-    last_escalation: HashMap<u32, SimTime>,
+    last_escalation: FxHashMap<u32, SimTime>,
     rng: SplitMix64,
     /// Counters reported at the end of the run.
     pub stats: AutonomicStats,
@@ -82,9 +89,9 @@ impl AutonomicState {
     pub fn new(params: AutonomicParams, seed: u64) -> Self {
         AutonomicState {
             params,
-            inflight: HashSet::new(),
-            last_laggard: HashMap::new(),
-            last_escalation: HashMap::new(),
+            inflight: FxHashSet::default(),
+            last_laggard: FxHashMap::default(),
+            last_escalation: FxHashMap::default(),
             rng: SplitMix64::new(seed),
             stats: AutonomicStats::default(),
             trace: TracePort::off(),

@@ -1,7 +1,7 @@
 //! The NAND package state machine: dies as busy-until servers, program
 //! order enforcement, wear accounting.
 
-use std::collections::HashMap;
+use triplea_sim::FxHashMap;
 
 use triplea_sim::trace::{TraceEventKind, TracePort};
 use triplea_sim::{FifoResource, Nanos, SimTime, SplitMix64};
@@ -53,7 +53,7 @@ pub struct Package {
     geom: FlashGeometry,
     timing: FlashTiming,
     dies: Vec<FifoResource>,
-    blocks: HashMap<u64, BlockState>,
+    blocks: FxHashMap<u64, BlockState>,
     wear: WearTracker,
     stats: PackageStats,
     faults: FlashFaultProfile,
@@ -72,7 +72,7 @@ impl Package {
             geom,
             timing,
             dies: (0..geom.dies).map(|_| FifoResource::new("die")).collect(),
-            blocks: HashMap::new(),
+            blocks: FxHashMap::default(),
             wear: WearTracker::new(geom.endurance),
             stats: PackageStats::default(),
             faults: FlashFaultProfile::default(),

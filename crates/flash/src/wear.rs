@@ -1,7 +1,7 @@
 //! Per-block wear (P/E cycle) accounting, used for the paper's §6.5
 //! migration wear-out analysis and the §6.7 global wear-levelling hooks.
 
-use std::collections::{HashMap, HashSet};
+use triplea_sim::{FxHashMap, FxHashSet};
 
 /// Tracks erase counts per block and retires blocks that exceed their
 /// endurance.
@@ -21,12 +21,12 @@ use std::collections::{HashMap, HashSet};
 #[derive(Clone, Debug)]
 pub struct WearTracker {
     endurance: u32,
-    erase_counts: HashMap<u64, u32>,
+    erase_counts: FxHashMap<u64, u32>,
     total_erases: u64,
     retired: u64,
     /// Grown bad blocks: retired by a hardware program/erase failure
     /// before reaching the endurance limit.
-    forced: HashSet<u64>,
+    forced: FxHashSet<u64>,
 }
 
 impl WearTracker {
@@ -34,10 +34,10 @@ impl WearTracker {
     pub fn new(endurance: u32) -> Self {
         WearTracker {
             endurance,
-            erase_counts: HashMap::new(),
+            erase_counts: FxHashMap::default(),
             total_erases: 0,
             retired: 0,
-            forced: HashSet::new(),
+            forced: FxHashSet::default(),
         }
     }
 

@@ -1,7 +1,9 @@
 //! Log-structured page allocation within one FIMM.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
+
+use triplea_sim::FxHashMap;
 
 use triplea_fimm::FimmAddr;
 use triplea_flash::{FlashGeometry, PageAddr};
@@ -36,7 +38,7 @@ pub struct FimmAllocator {
     geom: FlashGeometry,
     streams: Vec<Stream>,
     rr: usize,
-    erase_counts: HashMap<BlockKey, u32>,
+    erase_counts: FxHashMap<BlockKey, u32>,
     allocated: u64,
     retired: u64,
 }
@@ -63,7 +65,7 @@ impl FimmAllocator {
             geom,
             streams,
             rr: 0,
-            erase_counts: HashMap::new(),
+            erase_counts: FxHashMap::default(),
             allocated: 0,
             retired: 0,
         }
@@ -249,7 +251,8 @@ mod tests {
     #[test]
     fn pages_within_block_in_order() {
         let mut a = FimmAllocator::new(1, geom());
-        let mut per_block: HashMap<(u32, u32, u32), Vec<u32>> = HashMap::new();
+        let mut per_block: std::collections::HashMap<(u32, u32, u32), Vec<u32>> =
+            std::collections::HashMap::new();
         for _ in 0..64 {
             let addr = a.alloc().unwrap();
             per_block

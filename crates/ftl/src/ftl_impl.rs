@@ -1,6 +1,6 @@
 //! The flash translation layer proper.
 
-use std::collections::HashMap;
+use triplea_sim::FxHashMap;
 
 use triplea_pcie::ClusterId;
 use triplea_sim::trace::{TraceEventKind, TracePort, TraceScope};
@@ -44,7 +44,7 @@ pub enum GcPolicy {
 #[derive(Clone, Debug, Default)]
 struct BlockUse {
     programmed: u32,
-    lpns: HashMap<u32, LogicalPage>,
+    lpns: FxHashMap<u32, LogicalPage>,
     /// Monotonic sequence assigned when the block sealed (filled); used
     /// by age-aware GC policies.
     sealed_seq: u64,
@@ -82,8 +82,8 @@ pub struct GcWork {
 pub struct Ftl {
     shape: ArrayShape,
     map: PageMap,
-    allocs: HashMap<(u32, u32), FimmAllocator>,
-    blocks: HashMap<(u32, u32, BlockKey), BlockUse>,
+    allocs: FxHashMap<(u32, u32), FimmAllocator>,
+    blocks: FxHashMap<(u32, u32, BlockKey), BlockUse>,
     /// Demand-paged translation cache; `None` models the full in-DRAM
     /// map of Triple-A's relocated-DRAM design (§6.6).
     mapcache: Option<MappingCache>,
@@ -110,8 +110,8 @@ impl Ftl {
         Ftl {
             shape,
             map: PageMap::new(shape),
-            allocs: HashMap::new(),
-            blocks: HashMap::new(),
+            allocs: FxHashMap::default(),
+            blocks: FxHashMap::default(),
             mapcache: None,
             gc_policy: GcPolicy::Greedy,
             seal_seq: 0,
@@ -412,7 +412,7 @@ impl Ftl {
     /// these prove no page was lost or duplicated by writes, GC,
     /// migration, or fault rollback.
     pub fn verify_integrity(&self) -> Result<(), IntegrityError> {
-        let mut seen: HashMap<PhysLoc, LogicalPage> = HashMap::new();
+        let mut seen: FxHashMap<PhysLoc, LogicalPage> = FxHashMap::default();
         for (lpn, loc) in self.map.remapped_entries() {
             if !self.shape.contains(loc) {
                 return Err(IntegrityError::OutOfRange { lpn, loc });

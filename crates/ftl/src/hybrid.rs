@@ -17,7 +17,7 @@
 //! hybrid mapping needs orders-of-magnitude less mapping RAM but pays
 //! much higher write amplification on random overwrites.
 
-use std::collections::{HashMap, HashSet};
+use triplea_sim::{FxHashMap, FxHashSet};
 
 use triplea_flash::FlashGeometry;
 
@@ -75,10 +75,10 @@ pub struct HybridFtl {
     logical_pages: u64,
     /// Logical block → physical block (dense id); absent = never merged
     /// (all live data still in the logs or never written).
-    block_map: HashMap<u64, u64>,
+    block_map: FxHashMap<u64, u64>,
     /// lpn → (log block index, slot) of the *newest* copy, if it lives
     /// in a log block.
-    log_map: HashMap<u64, (usize, u32)>,
+    log_map: FxHashMap<u64, (usize, u32)>,
     /// The shared log blocks, reclaimed FIFO.
     logs: Vec<LogBlock>,
     /// Log block currently absorbing appends.
@@ -91,7 +91,7 @@ pub struct HybridFtl {
     freed: Vec<u64>,
     /// Logical pages ever written (merges only copy real data; empty
     /// slots in a data block cost nothing).
-    ever_written: HashSet<u64>,
+    ever_written: FxHashSet<u64>,
     stats: HybridStats,
 }
 
@@ -114,14 +114,14 @@ impl HybridFtl {
         HybridFtl {
             geom,
             logical_pages: data_blocks * geom.pages_per_block as u64,
-            block_map: HashMap::new(),
-            log_map: HashMap::new(),
+            block_map: FxHashMap::default(),
+            log_map: FxHashMap::default(),
             logs: vec![LogBlock::default(); log_blocks],
             active_log: 0,
             oldest_log: 0,
             next_free: 0,
             freed: Vec::new(),
-            ever_written: HashSet::new(),
+            ever_written: FxHashSet::default(),
             stats: HybridStats::default(),
         }
     }

@@ -7,7 +7,7 @@
 //! consecutive LPNs) are cached, and a miss costs a flash read of the
 //! map page. The array layer charges that read to the request.
 
-use std::collections::HashMap;
+use triplea_sim::FxHashMap;
 
 /// Mapping entries covered by one cached translation page: a 4 KB page
 /// of 8-byte entries.
@@ -30,7 +30,7 @@ pub const ENTRIES_PER_TRANSLATION_PAGE: u64 = 512;
 pub struct MappingCache {
     capacity: usize,
     /// translation-page id → last-use tick
-    resident: HashMap<u64, u64>,
+    resident: FxHashMap<u64, u64>,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -47,7 +47,7 @@ impl MappingCache {
         assert!(capacity > 0, "mapping cache needs capacity");
         MappingCache {
             capacity,
-            resident: HashMap::new(),
+            resident: FxHashMap::default(),
             tick: 0,
             hits: 0,
             misses: 0,

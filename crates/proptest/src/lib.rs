@@ -133,6 +133,56 @@ pub mod strategy {
         }
     }
 
+    /// Strategy that always yields a clone of its value (like real
+    /// proptest's `Just`).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among same-valued strategies; the expansion
+    /// target of [`prop_oneof!`](crate::prop_oneof). Unlike real
+    /// proptest there are no per-arm weights: every arm is equally
+    /// likely.
+    pub struct Union<T> {
+        arms: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Creates an empty union; see [`Union::or`].
+        pub fn new() -> Self {
+            Union { arms: Vec::new() }
+        }
+
+        /// Adds one alternative.
+        pub fn or(mut self, s: impl Strategy<Value = T> + 'static) -> Self {
+            self.arms.push(Box::new(s));
+            self
+        }
+    }
+
+    impl<T> Default for Union<T> {
+        fn default() -> Self {
+            Union::new()
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            assert!(!self.arms.is_empty(), "prop_oneof! needs at least one arm");
+            let idx = rng.next_below(self.arms.len() as u64) as usize;
+            self.arms[idx].generate(rng)
+        }
+    }
+
     /// Wraps a generation closure as a strategy; the expansion target of
     /// [`prop_compose!`](crate::prop_compose).
     pub struct FnStrategy<F>(pub F);
@@ -240,9 +290,9 @@ pub mod bool {
 
 /// Everything a property test needs: `use proptest::prelude::*;`.
 pub mod prelude {
-    pub use crate::strategy::Strategy;
+    pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_compose, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_compose, prop_oneof, proptest};
 
     /// Namespace mirror of real proptest's `prelude::prop`.
     pub mod prop {
@@ -321,6 +371,17 @@ macro_rules! prop_assert_eq {
     ($($tt:tt)*) => { assert_eq!($($tt)*) };
 }
 
+/// Uniform choice among strategies producing the same value type.
+///
+/// Unlike real proptest, per-arm `weight =>` prefixes are not
+/// supported; every arm draws with equal probability.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new()$(.or($strategy))+
+    };
+}
+
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
@@ -368,6 +429,26 @@ mod tests {
         #[test]
         fn composed_strategies_apply_outer_args(s in arb_sum(5)) {
             prop_assert!(s <= 5);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn oneof_draws_from_every_arm(
+            picks in prop::collection::vec(
+                prop_oneof![
+                    Just(0u64),
+                    (10u64..20).prop_map(|x| x),
+                    Just(99u64),
+                ],
+                50..60,
+            )
+        ) {
+            for p in &picks {
+                prop_assert!(*p == 0 || (10..20).contains(p) || *p == 99);
+            }
         }
     }
 }

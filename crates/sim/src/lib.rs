@@ -39,15 +39,17 @@ mod queue;
 mod rng;
 mod time;
 
+pub mod hash;
 pub mod resource;
 pub mod stats;
 pub mod trace;
 
-pub use queue::EventQueue;
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use queue::{BaselineHeapQueue, EventQueue};
 pub use resource::{FifoResource, MultiResource, Reservation};
 pub use rng::SplitMix64;
 pub use time::{Nanos, SimTime};
 pub use trace::{
-    Metric, MetricRegistry, Recorder, RunTrace, SharedRecorder, TraceConfig, TraceEvent,
+    Metric, MetricId, MetricRegistry, Recorder, RunTrace, SharedRecorder, TraceConfig, TraceEvent,
     TraceEventKind, TracePort, TraceScope,
 };

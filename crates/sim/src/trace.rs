@@ -667,12 +667,40 @@ pub enum Metric {
     Series(Vec<(Nanos, f64)>),
 }
 
+/// An interned metric name: a dense handle into a [`MetricRegistry`].
+///
+/// Interning happens once, at wiring time; every per-harvest update is
+/// then an indexed store with no name formatting, hashing, or string
+/// comparison on the hot path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MetricId(u32);
+
+impl MetricId {
+    /// The dense slot index behind this handle.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 /// Per-component instruments registered under stable hierarchical names
-/// (`cluster.2.fimm.1.queue_depth`). Entries keep registration order;
-/// exports sort by name so artifact bytes never depend on harvest order.
+/// (`cluster.2.fimm.1.queue_depth`).
+///
+/// Names are interned into [`MetricId`] handles; the registry keeps an
+/// index of ids sorted by name, maintained incrementally at intern time
+/// (binary-search insertion), so [`MetricRegistry::sorted`] is a single
+/// pass with no per-export clone or re-sort and artifact bytes never
+/// depend on harvest order. Setting an instrument twice overwrites the
+/// previous value.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct MetricRegistry {
-    entries: Vec<(String, Metric)>,
+    /// Interned names, indexed by `MetricId`.
+    names: Vec<String>,
+    /// Instrument value per id (`None` until first set).
+    slots: Vec<Option<Metric>>,
+    /// Ids ordered by their name — the export order.
+    by_name: Vec<MetricId>,
+    /// Slots currently holding a value.
+    set_count: usize,
 }
 
 impl MetricRegistry {
@@ -681,20 +709,56 @@ impl MetricRegistry {
         MetricRegistry::default()
     }
 
-    /// Registers a counter.
-    pub fn counter(&mut self, name: impl Into<String>, v: u64) {
-        self.entries.push((name.into(), Metric::Counter(v)));
+    /// Position of `name` in the sorted index: `Ok` when already
+    /// interned, `Err` with the insertion point otherwise.
+    fn search(&self, name: &str) -> Result<usize, usize> {
+        self.by_name
+            .binary_search_by(|id| self.names[id.index()].as_str().cmp(name))
     }
 
-    /// Registers a gauge.
-    pub fn gauge(&mut self, name: impl Into<String>, v: f64) {
-        self.entries.push((name.into(), Metric::Gauge(v)));
+    /// Interns `name`, returning its stable handle. Idempotent: the same
+    /// name always yields the same id.
+    pub fn intern(&mut self, name: impl AsRef<str>) -> MetricId {
+        let name = name.as_ref();
+        match self.search(name) {
+            Ok(pos) => self.by_name[pos],
+            Err(pos) => {
+                let id = MetricId(self.names.len() as u32);
+                self.names.push(name.to_string());
+                self.slots.push(None);
+                self.by_name.insert(pos, id);
+                id
+            }
+        }
     }
 
-    /// Registers a histogram's summary.
-    pub fn histogram(&mut self, name: impl Into<String>, h: &Histogram) {
-        self.entries.push((
-            name.into(),
+    /// The interned name behind `id`.
+    pub fn name(&self, id: MetricId) -> &str {
+        &self.names[id.index()]
+    }
+
+    fn set(&mut self, id: MetricId, m: Metric) {
+        let slot = &mut self.slots[id.index()];
+        if slot.is_none() {
+            self.set_count += 1;
+        }
+        *slot = Some(m);
+    }
+
+    /// Sets a counter on a pre-interned handle.
+    pub fn set_counter(&mut self, id: MetricId, v: u64) {
+        self.set(id, Metric::Counter(v));
+    }
+
+    /// Sets a gauge on a pre-interned handle.
+    pub fn set_gauge(&mut self, id: MetricId, v: f64) {
+        self.set(id, Metric::Gauge(v));
+    }
+
+    /// Sets a histogram summary on a pre-interned handle.
+    pub fn set_histogram(&mut self, id: MetricId, h: &Histogram) {
+        self.set(
+            id,
             Metric::Summary {
                 count: h.count(),
                 mean_ns: h.mean(),
@@ -702,39 +766,72 @@ impl MetricRegistry {
                 p99_ns: h.percentile(0.99),
                 max_ns: h.max(),
             },
-        ));
+        );
     }
 
-    /// Registers a time series, thinned to at most `max_points` samples.
-    pub fn series(&mut self, name: impl Into<String>, s: &TimeSeries, max_points: usize) {
+    /// Sets a time series on a pre-interned handle, thinned to at most
+    /// `max_points` samples.
+    pub fn set_series(&mut self, id: MetricId, s: &TimeSeries, max_points: usize) {
         let pts = s
             .thin(max_points)
             .into_iter()
             .map(|(t, v)| (t.as_nanos(), v))
             .collect();
-        self.entries.push((name.into(), Metric::Series(pts)));
+        self.set(id, Metric::Series(pts));
     }
 
-    /// Number of registered instruments.
+    /// Registers a counter by name (interns on the fly).
+    pub fn counter(&mut self, name: impl AsRef<str>, v: u64) {
+        let id = self.intern(name);
+        self.set_counter(id, v);
+    }
+
+    /// Registers a gauge by name (interns on the fly).
+    pub fn gauge(&mut self, name: impl AsRef<str>, v: f64) {
+        let id = self.intern(name);
+        self.set_gauge(id, v);
+    }
+
+    /// Registers a histogram's summary by name (interns on the fly).
+    pub fn histogram(&mut self, name: impl AsRef<str>, h: &Histogram) {
+        let id = self.intern(name);
+        self.set_histogram(id, h);
+    }
+
+    /// Registers a time series by name, thinned to at most `max_points`
+    /// samples.
+    pub fn series(&mut self, name: impl AsRef<str>, s: &TimeSeries, max_points: usize) {
+        let id = self.intern(name);
+        self.set_series(id, s, max_points);
+    }
+
+    /// Number of instruments holding a value.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.set_count
     }
 
-    /// `true` when nothing is registered.
+    /// `true` when no instrument holds a value.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.set_count == 0
     }
 
-    /// The entries sorted by name (the export order).
-    pub fn sorted(&self) -> Vec<&(String, Metric)> {
-        let mut v: Vec<&(String, Metric)> = self.entries.iter().collect();
-        v.sort_by(|a, b| a.0.cmp(&b.0));
-        v
+    /// The set instruments in name order — a single pass over the index
+    /// maintained at intern time.
+    pub fn sorted(&self) -> Vec<(&str, &Metric)> {
+        self.by_name
+            .iter()
+            .filter_map(|id| {
+                self.slots[id.index()]
+                    .as_ref()
+                    .map(|m| (self.names[id.index()].as_str(), m))
+            })
+            .collect()
     }
 
     /// Looks up one instrument by exact name.
     pub fn get(&self, name: &str) -> Option<&Metric> {
-        self.entries.iter().find(|(n, _)| n == name).map(|(_, m)| m)
+        let pos = self.search(name).ok()?;
+        self.slots[self.by_name[pos].index()].as_ref()
     }
 }
 
@@ -1080,7 +1177,7 @@ mod tests {
         let mut m = MetricRegistry::new();
         m.counter("z.count", 3);
         m.gauge("a.util", 0.5);
-        let names: Vec<&str> = m.sorted().iter().map(|(n, _)| n.as_str()).collect();
+        let names: Vec<&str> = m.sorted().iter().map(|(n, _)| *n).collect();
         assert_eq!(names, ["a.util", "z.count"]);
         assert_eq!(m.get("z.count"), Some(&Metric::Counter(3)));
         assert_eq!(m.get("missing"), None);

@@ -1,0 +1,6 @@
+//! Failure-storm scenarios: power-loss recovery, hot-spare rebuild,
+//! and the combined storm. See `experiments::failure_storm`.
+
+fn main() {
+    triplea_bench::experiments::run_and_print("failure_storm");
+}

@@ -8,6 +8,7 @@
 
 mod ablation;
 mod dram;
+mod failure_storm;
 mod faults;
 mod fig01;
 mod fig09;
@@ -48,6 +49,7 @@ pub fn all(scale: Scale) -> Vec<Experiment> {
         wearout::spec(scale),
         ftl_compare::spec(scale),
         faults::spec(scale),
+        failure_storm::spec(scale),
         timeline::spec(scale),
     ]
 }

@@ -521,7 +521,7 @@ fn walk<'a>(v: &'a Value, path: &str) -> &'a Value {
 /// histograms would bloat artifacts); renderers read these values back
 /// with [`jf`]/[`ju`].
 pub fn report_json(r: &triplea_core::RunReport) -> Value {
-    obj([
+    let mut v = obj([
         ("mode", text(&r.mode().to_string())),
         ("completed", uint(r.completed())),
         ("reads", uint(r.reads())),
@@ -547,7 +547,16 @@ pub fn report_json(r: &triplea_core::RunReport) -> Value {
         ("wear", serde_json::to_value(&r.wear())),
         ("faults", serde_json::to_value(&r.fault_stats())),
         ("events", uint(r.events_processed())),
-    ])
+    ]);
+    // Runs without power losses or rebuilds keep the pre-recovery
+    // artifact shape, so quiet goldens stay byte-stable.
+    let rec = r.recovery_stats();
+    if rec.any() {
+        if let Value::Object(fields) = &mut v {
+            fields.push(("recovery".to_string(), serde_json::to_value(&rec)));
+        }
+    }
+    v
 }
 
 /// Formats a Markdown table (the string [`crate::print_table`] prints).

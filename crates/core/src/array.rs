@@ -8,9 +8,9 @@
 //! background (data migration with shadow cloning, intra-cluster
 //! reshaping, write redirection).
 
-use triplea_fimm::FimmFaultKind;
-use triplea_flash::{FlashCommand, FlashError, OpKind, OpTiming, WearReport};
-use triplea_ftl::{hal, Ftl, FtlError, IntegrityError, LogicalPage};
+use triplea_fimm::{Fimm, FimmFaultKind};
+use triplea_flash::{FlashCommand, FlashError, OpKind, OpTiming, PageAddr, WearReport};
+use triplea_ftl::{hal, Ftl, FtlError, IntegrityError, JournalConfig, LogicalPage, RebuildUnit};
 use triplea_pcie::{Admission, ClusterId, RootComplex, Switch};
 use triplea_sim::stats::{Histogram, TimeSeries};
 use triplea_sim::trace::{
@@ -21,12 +21,16 @@ use triplea_sim::{EventQueue, Nanos, SimTime};
 
 use crate::autonomic::AutonomicState;
 use crate::cluster::ClusterState;
-use crate::config::{ArrayConfig, ManagementMode};
-use crate::metrics::{FaultStats, RunReport};
+use crate::config::{ArrayConfig, ManagementMode, PowerLossEvent};
+use crate::metrics::{FaultStats, RecoveryStats, RunReport};
 use crate::request::{Breakdown, IoOp, RequestState, Stage, Trace};
 
 /// TLP framing overhead per 4 KB payload segment.
 const TLP_OVERHEAD: u64 = 24;
+
+/// Weyl constant used to derive per-component fault RNG streams from
+/// the one master seed.
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// Transient-read retries before falling back to a fault-immune recovery
 /// read. Every failed attempt burns the die slot it reserved, so each
@@ -36,6 +40,16 @@ const READ_RETRY_LIMIT: u32 = 8;
 /// Redirection attempts for a write whose program hard-fails before the
 /// page is dropped as unwritable.
 const WRITE_REDIRECT_LIMIT: u32 = 4;
+
+/// Delay between a module death and the first hot-spare rebuild copy:
+/// fault detection plus spare spin-up.
+const REBUILD_DETECT_NS: Nanos = 100_000;
+
+/// Pacing gap between rebuild units when the cluster is otherwise idle.
+const REBUILD_GAP_NS: Nanos = 20_000;
+
+/// Cap on the rebuild throttle's foreground-pressure multiplier.
+const REBUILD_THROTTLE_MAX: u64 = 16;
 
 #[derive(Clone, Debug)]
 enum Ev {
@@ -70,6 +84,11 @@ enum Ev {
         cluster: u32,
         fimm: u32,
     },
+    /// The configured power cut fires: volatile state is lost, the FTL
+    /// journal is replayed, and the array remounts.
+    PowerLoss,
+    /// One unit of hot-spare rebuild work for `rebuilds[i]`.
+    RebuildStep(u32),
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -92,6 +111,27 @@ struct Reloc {
     pages: Vec<RelocPage>,
     kind: RelocKind,
     remaining: u32,
+}
+
+/// A hot-spare rebuild in flight: one dead FIMM being reconstructed,
+/// block by block, onto a standby module that replaces it on completion.
+#[derive(Clone, Debug)]
+struct Rebuild {
+    cluster: u32,
+    fimm: u32,
+    /// The instant the module died — start of the degraded window.
+    died: SimTime,
+    /// Restoration manifest; computed lazily at the first step so it
+    /// reflects the FTL metadata at detection time.
+    plan: Vec<RebuildUnit>,
+    planned: bool,
+    /// Next manifest unit to restore.
+    cursor: usize,
+    /// Live pages reconstruction-read from siblings so far.
+    copied: u64,
+    /// The standby module being programmed; consumed by the final swap.
+    spare: Option<Fimm>,
+    done: bool,
 }
 
 /// Per-cluster metric handles, pre-interned at wiring time.
@@ -207,6 +247,18 @@ struct Engine {
     /// Engine-side degraded-mode counters; package/link-level fault
     /// counts are folded in by [`Engine::into_report`].
     faults: FaultStats,
+    /// Power-loss and rebuild accounting for the report.
+    recovery: RecoveryStats,
+    /// The pending power cut; taken when it fires (at most one per run).
+    power_loss: Option<PowerLossEvent>,
+    /// Hot-spare rebuilds, one per consumed spare.
+    rebuilds: Vec<Rebuild>,
+    /// Completion latencies recorded inside any rebuild's degraded
+    /// window (module death → spare in service).
+    degraded_lat: Histogram,
+    /// Modules replaced by a spare; kept so their wear and fault history
+    /// still roll up into the final report.
+    retired_fimms: Vec<Fimm>,
     /// Array-scoped emission port for engine-level lifecycle events.
     trace: TracePort,
     /// The recorder harvested at the end of a traced run; `None` keeps
@@ -270,10 +322,11 @@ impl std::fmt::Debug for Array {
 impl Array {
     /// Builds an idle array from a configuration.
     ///
-    /// # Panics
-    ///
-    /// Panics if a configured [`FimmFaultEvent`](crate::FimmFaultEvent)
-    /// addresses a cluster or FIMM outside the array.
+    /// A configured [`FimmFaultEvent`](crate::FimmFaultEvent) that
+    /// addresses a cluster or FIMM outside the array is ignored — the
+    /// [`ArrayConfigBuilder`](crate::ArrayConfigBuilder) is the
+    /// validation gate; a hand-assembled [`FaultConfig`](crate::FaultConfig)
+    /// must not crash the simulator.
     pub fn new(cfg: ArrayConfig, mode: ManagementMode) -> Self {
         let topo = cfg.shape.topology;
         let mut clusters: Vec<ClusterState> = topo
@@ -290,6 +343,14 @@ impl Array {
             Ftl::new(cfg.shape)
         };
         ftl.set_gc_policy(cfg.gc_policy);
+        if let Some(pl) = cfg.faults.power_loss {
+            // Metadata mutations must be journaled from the first write,
+            // or the recovery scan would have nothing to replay.
+            ftl.enable_journal(JournalConfig {
+                flush_every: pl.flush_every,
+                checkpoint_every: pl.checkpoint_every,
+            });
+        }
         Array {
             e: Engine {
                 ftl,
@@ -317,6 +378,11 @@ impl Array {
                 foreign_pages: 0,
                 dropped_writes: 0,
                 faults: FaultStats::default(),
+                recovery: RecoveryStats::default(),
+                power_loss: cfg.faults.power_loss,
+                rebuilds: Vec::new(),
+                degraded_lat: Histogram::new(),
+                retired_fimms: Vec::new(),
                 trace: TracePort::off(),
                 recorder: None,
                 metric_ids: None,
@@ -371,7 +437,6 @@ impl Array {
     /// quiet plan arms nothing, so fault-free runs stay bit-identical to
     /// builds that predate fault injection.
     fn arm_faults(cfg: &ArrayConfig, clusters: &mut [ClusterState], switches: &mut [Switch]) {
-        const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
         let fc = &cfg.faults;
         if !fc.flash.is_quiet() {
             for (ci, cl) in clusters.iter_mut().enumerate() {
@@ -396,13 +461,15 @@ impl Array {
             }
         }
         for ev in fc.fimm_events.iter().flatten() {
-            let cl = clusters
-                .get_mut(ev.cluster as usize)
-                .expect("fault-event cluster index in range");
-            let fimm = cl
-                .fimms
-                .get_mut(ev.fimm as usize)
-                .expect("fault-event FIMM index in range");
+            // Events addressing hardware outside the array are skipped,
+            // not panicked on: the builder validates user input, and a
+            // fault plan is itself a fallible input, not an invariant.
+            let Some(cl) = clusters.get_mut(ev.cluster as usize) else {
+                continue;
+            };
+            let Some(fimm) = cl.fimms.get_mut(ev.fimm as usize) else {
+                continue;
+            };
             fimm.schedule_fault(SimTime::from_nanos(ev.at_ns), ev.kind);
         }
     }
@@ -452,6 +519,7 @@ impl Array {
         if trace.is_empty() {
             self.e.first_submit = SimTime::ZERO;
         }
+        self.e.arm_recovery();
         if let Some(rec) = &self.e.recorder {
             let rec = rec.clone();
             while let Some((now, ev)) = self.e.queue.pop() {
@@ -546,7 +614,274 @@ impl Engine {
                 cluster,
                 fimm,
             } => self.on_mig_page_done(now, reloc, idx, cluster, fimm),
+            Ev::PowerLoss => self.on_power_loss(now),
+            Ev::RebuildStep(i) => self.on_rebuild_step(now, i),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Crash recovery & self-healing
+    // ------------------------------------------------------------------
+
+    /// Schedules the configured power cut and claims one hot spare for
+    /// each scheduled module death, in config order, until the spare
+    /// pool runs dry. Runs once, before the event loop starts.
+    fn arm_recovery(&mut self) {
+        if let Some(pl) = self.power_loss {
+            self.queue.push(SimTime::from_nanos(pl.at_ns), Ev::PowerLoss);
+        }
+        let mut spares = self.cfg.hot_spares;
+        let events = self.cfg.faults.fimm_events;
+        for ev in events.iter().flatten() {
+            if spares == 0 {
+                break;
+            }
+            if !matches!(ev.kind, FimmFaultKind::Dead) {
+                continue;
+            }
+            let Some(cl) = self.clusters.get(ev.cluster as usize) else {
+                continue;
+            };
+            if ev.fimm as usize >= cl.fimms.len() {
+                continue;
+            }
+            // Two deaths of the same module consume one spare.
+            if self
+                .rebuilds
+                .iter()
+                .any(|rb| rb.cluster == ev.cluster && rb.fimm == ev.fimm)
+            {
+                continue;
+            }
+            spares -= 1;
+            let mut spare = Fimm::new(
+                self.cfg.shape.packages_per_fimm,
+                self.cfg.shape.flash,
+                self.cfg.flash_timing,
+            );
+            let fc = &self.cfg.faults;
+            if !fc.flash.is_quiet() {
+                // The spare gets its own RNG stream, disjoint (bit 16)
+                // from every original module's `(cluster << 8) | fimm`.
+                let k = ((ev.cluster as u64) << 8) | ev.fimm as u64 | 1 << 16;
+                spare.set_fault_profile(fc.flash, fc.seed ^ (k + 1).wrapping_mul(GOLDEN));
+            }
+            if let Some(rec) = &self.recorder {
+                spare.attach_trace(TracePort::attached(
+                    rec.clone(),
+                    TraceScope::fimm(ev.cluster, ev.fimm),
+                ));
+            }
+            let died = SimTime::from_nanos(ev.at_ns);
+            let idx = self.rebuilds.len() as u32;
+            self.rebuilds.push(Rebuild {
+                cluster: ev.cluster,
+                fimm: ev.fimm,
+                died,
+                plan: Vec::new(),
+                planned: false,
+                cursor: 0,
+                copied: 0,
+                spare: Some(spare),
+                done: false,
+            });
+            self.queue.push(died + REBUILD_DETECT_NS, Ev::RebuildStep(idx));
+        }
+    }
+
+    /// The configured power cut. Everything volatile dies with it: the
+    /// event calendar's in-flight work, every credit-queue occupancy and
+    /// waiter, the endpoint write buffers, pending-page accounting, the
+    /// management module's in-flight relocation claims, and the FTL's
+    /// translation cache. Flash contents and journaled metadata survive;
+    /// the mount-time recovery scan replays the journal's flushed tail
+    /// onto its checkpoint. Host requests not yet submitted re-arrive
+    /// once the array is back up (latency is still measured from the
+    /// original submit time, so the outage shows in the tail).
+    ///
+    /// Link and bus busy-until timelines are deliberately left alone:
+    /// they are pure timing reservations with no queued state, and any
+    /// residual reservation drains during the multi-millisecond remount
+    /// window.
+    fn on_power_loss(&mut self, now: SimTime) {
+        let Some(pl) = self.power_loss.take() else {
+            return;
+        };
+        let mut future_submits: Vec<(SimTime, u32)> = Vec::new();
+        while let Some((t, ev)) = self.queue.pop() {
+            if let Ev::Submit(r) = ev {
+                future_submits.push((t, r));
+            }
+        }
+        let mut lost = 0u64;
+        for rs in self.reqs.iter_mut() {
+            if !rs.done && rs.stage != Stage::Created && rs.stage != Stage::Done {
+                rs.stage = Stage::Done;
+                lost += 1;
+            }
+        }
+        self.rc.queue.power_cycle();
+        for sw in &mut self.switches {
+            for q in &mut sw.port_queues {
+                q.power_cycle();
+            }
+        }
+        for cl in &mut self.clusters {
+            cl.ep.queue.power_cycle();
+            cl.wbuf_used = 0;
+            cl.wbuf_waiters.clear();
+            for p in &mut cl.pending_read_pages {
+                *p = 0;
+            }
+            for p in &mut cl.pending_prog_pages {
+                *p = 0;
+            }
+        }
+        self.auto.forget_inflight();
+        for rl in &mut self.relocs {
+            rl.remaining = 0;
+        }
+        let outcome = match self.ftl.power_loss() {
+            Ok(o) => o,
+            // Replay re-executes our own recorded history; divergence is
+            // a simulator defect, never an injectable fault.
+            Err(e) => unreachable!("journal recovery diverged: {e}"),
+        };
+        let remount = pl.remount_base_ns + pl.replay_ns_per_record * outcome.replayed;
+        let back_up = now + remount;
+        self.recovery.power_losses += 1;
+        self.recovery.journal_replayed += outcome.replayed;
+        self.recovery.journal_dropped += outcome.dropped;
+        self.recovery.aborted_clones += outcome.aborted_clones;
+        self.recovery.lost_inflight_requests += lost;
+        self.recovery.requeued_requests += future_submits.len() as u64;
+        self.recovery.remount_ns += remount;
+        let requeued = future_submits.len() as u64;
+        self.trace.emit(|| TraceEventKind::PowerLoss {
+            lost_requests: lost,
+            requeued,
+        });
+        self.trace.emit(|| TraceEventKind::JournalReplay {
+            replayed: outcome.replayed,
+            dropped: outcome.dropped,
+        });
+        for (t, r) in future_submits {
+            self.queue.push(t.max(back_up), Ev::Submit(r));
+        }
+        // Rebuild copies in flight were lost with the calendar; every
+        // unfinished rebuild resumes at its cursor once the array is up.
+        for i in 0..self.rebuilds.len() {
+            if !self.rebuilds[i].done {
+                let at = (self.rebuilds[i].died + REBUILD_DETECT_NS).max(back_up);
+                self.queue.push(at, Ev::RebuildStep(i as u32));
+            }
+        }
+    }
+
+    /// One unit of hot-spare rebuild work: restore the programmed prefix
+    /// of the next manifest block onto the spare, reconstruction-reading
+    /// the live pages from the dead module's surviving siblings. All
+    /// timing contends with foreground I/O (sibling dies, the shared
+    /// bus); the pacing between units backs off linearly with the
+    /// cluster's outstanding host reads so a busy array rebuilds slowly.
+    fn on_rebuild_step(&mut self, now: SimTime, i: u32) {
+        let idx = i as usize;
+        if self.rebuilds[idx].done {
+            return;
+        }
+        let (cluster, fimm) = (self.rebuilds[idx].cluster, self.rebuilds[idx].fimm);
+        let c = cluster as usize;
+        if !self.rebuilds[idx].planned {
+            self.rebuilds[idx].planned = true;
+            let id = self.clusters[c].id;
+            self.rebuilds[idx].plan = self.ftl.rebuild_manifest(id, fimm);
+            let pages: u64 = self.rebuilds[idx]
+                .plan
+                .iter()
+                .map(|u| u.live.len() as u64)
+                .sum();
+            self.trace
+                .with_scope(TraceScope::fimm(cluster, fimm))
+                .emit(|| TraceEventKind::RebuildStart { pages });
+        }
+        let cursor = self.rebuilds[idx].cursor;
+        let Some(unit) = self.rebuilds[idx].plan.get(cursor).cloned() else {
+            self.finish_rebuild(now, idx);
+            return;
+        };
+        self.rebuilds[idx].cursor += 1;
+        let plane = self.cfg.shape.flash.plane_of_block(unit.block);
+        let pb = self.page_bytes();
+        let n = self.clusters[c].fimms.len() as u32;
+        let mut t = now;
+        for page in 0..unit.programmed {
+            let addr = PageAddr {
+                die: unit.die,
+                plane,
+                block: unit.block,
+                page,
+            };
+            if unit.live.binary_search(&page).is_ok() {
+                // Reconstruction-read the live page from the first
+                // surviving sibling and haul it (in and back out) over
+                // the shared bus. Recovery reads are fault-immune — a
+                // rebuild must not trip over its own transient ECC.
+                let xfer = self.clusters[c].bus.transfer(t, 2 * pb);
+                let sib = (1..n)
+                    .map(|off| (fimm + off) % n)
+                    .find(|&f| !self.clusters[c].fimms[f as usize].is_dead_at(t));
+                if let Some(sf) = sib {
+                    if let Ok(rd) = self.clusters[c].fimms[sf as usize].begin_op_recovery(
+                        t,
+                        unit.package,
+                        &FlashCommand::read(addr),
+                    ) {
+                        t = t.max(rd.end);
+                    }
+                }
+                t = t.max(xfer.end);
+                self.rebuilds[idx].copied += 1;
+            }
+            // Stale pages restore the programmed prefix without a source
+            // read: NAND programs are strictly in-order within a block,
+            // and the allocator will resume at page `programmed`.
+            if let Some(spare) = self.rebuilds[idx].spare.as_mut() {
+                if let Ok(op) = spare.begin_op(t, unit.package, &FlashCommand::program(addr)) {
+                    t = op.end;
+                }
+                // The spare can grow its own bad blocks under its fault
+                // profile; the copy is best-effort and the FTL will
+                // quarantine the block on first use, like any other.
+            }
+        }
+        let backlog: u64 = self.clusters[c].pending_read_pages.iter().sum();
+        let gap = REBUILD_GAP_NS * (1 + backlog.min(REBUILD_THROTTLE_MAX - 1));
+        self.queue.push(t + gap, Ev::RebuildStep(i));
+    }
+
+    /// Swaps the rebuilt spare into the cluster. The dead module is
+    /// retired — its wear and fault history still roll up into the final
+    /// report — and the FIMM slot serves from the spare from now on.
+    fn finish_rebuild(&mut self, now: SimTime, idx: usize) {
+        let (cluster, fimm) = (self.rebuilds[idx].cluster, self.rebuilds[idx].fimm);
+        let Some(spare) = self.rebuilds[idx].spare.take() else {
+            return;
+        };
+        self.rebuilds[idx].done = true;
+        let old =
+            std::mem::replace(&mut self.clusters[cluster as usize].fimms[fimm as usize], spare);
+        self.retired_fimms.push(old);
+        let dur = now - self.rebuilds[idx].died;
+        let copied = self.rebuilds[idx].copied;
+        self.recovery.rebuilds_completed += 1;
+        self.recovery.rebuild_pages += copied;
+        self.recovery.rebuild_ns += dur;
+        self.trace
+            .with_scope(TraceScope::fimm(cluster, fimm))
+            .emit(|| TraceEventKind::RebuildDone {
+                pages: copied,
+                dur_ns: dur,
+            });
     }
 
     // ------------------------------------------------------------------
@@ -1123,7 +1458,14 @@ impl Engine {
                     }
                 }
             }
-            Err(e) => panic!("relocation failed: {e}"),
+            Err(_) => {
+                // Any other allocation failure (e.g. the destination
+                // module died between pick and prepare): abandon this
+                // page's relocation. The original mapping is untouched,
+                // so readers lose nothing.
+                self.finish_reloc_page(reloc, idx as usize);
+                return;
+            }
         };
         self.relocs[reloc as usize].pages[idx as usize].new = Some(loc);
         let c = cluster as usize;
@@ -1170,6 +1512,11 @@ impl Engine {
     fn finish_reloc_page(&mut self, reloc: u32, idx: usize) {
         let rl = &mut self.relocs[reloc as usize];
         let lpn = rl.pages[idx].lpn;
+        if rl.remaining == 0 {
+            // The relocation was already torn down (power cut); nothing
+            // left to account.
+            return;
+        }
         rl.remaining -= 1;
         let done = rl.remaining == 0;
         let kind = rl.kind;
@@ -1292,12 +1639,21 @@ impl Engine {
     }
 
     fn on_mig_arrive(&mut self, now: SimTime, m: u32) {
-        let dst_global = self
+        // A migration whose destination record is missing was torn down
+        // by a power cut between transfer and arrival: treat every page
+        // as aborted (the originals were never unlinked).
+        let Some(dst_global) = self
             .mig_dst
             .iter()
             .find(|(id, _)| *id == m)
             .map(|(_, d)| *d)
-            .expect("migration destination recorded");
+        else {
+            let n = self.relocs[m as usize].pages.len();
+            for idx in 0..n {
+                self.finish_reloc_page(m, idx);
+            }
+            return;
+        };
         let dst_id = self.clusters[dst_global as usize].id;
         let n = self.relocs[m as usize].pages.len() as u32;
         for idx in 0..n {
@@ -1362,7 +1718,11 @@ impl Engine {
                             Err(_) => break None,
                         }
                     }
-                    Err(e) => panic!("write allocation failed: {e}"),
+                    // Any other allocation failure means the page cannot
+                    // be placed; the write is dropped and counted, not
+                    // panicked on — injected faults must surface as
+                    // degraded service, never as a crash.
+                    Err(_) => break None,
                 };
                 let tc = self.cluster_global(loc.cluster) as usize;
                 let pb = self.page_bytes();
@@ -1594,6 +1954,11 @@ impl Engine {
                 latency_ns: total,
             });
         self.lat.record(total);
+        // Completions inside a rebuild's degraded window (module death →
+        // spare in service) feed the RecoveryStats degraded-mode p99.
+        if self.rebuilds.iter().any(|rb| !rb.done && rb.died <= now) {
+            self.degraded_lat.record(total);
+        }
         match op {
             IoOp::Read => {
                 self.rlat.record(total);
@@ -1669,24 +2034,30 @@ impl Engine {
 
     fn into_report(mut self) -> RunReport {
         let mut wear = WearReport::default();
-        for c in &self.clusters {
-            for f in &c.fimms {
-                wear.merge(&f.wear_report());
-                let pf = f.fault_stats();
-                self.faults.transient_read_faults += pf.read_transients;
-                self.faults.prog_failures += pf.prog_failures;
-                self.faults.erase_failures += pf.erase_failures;
-                self.faults.blocks_retired_by_fault += pf.blocks_force_retired;
-                if let Some((at, kind)) = f.scheduled_fault() {
-                    if at <= self.last_complete {
-                        match kind {
-                            FimmFaultKind::Dead => self.faults.fimm_deaths += 1,
-                            FimmFaultKind::Slowdown(_) => self.faults.fimm_slowdowns += 1,
-                        }
+        // Retired modules (replaced by a hot spare mid-run) still carry
+        // their wear, fault history, and scheduled-fault census.
+        for f in self
+            .clusters
+            .iter()
+            .flat_map(|c| c.fimms.iter())
+            .chain(self.retired_fimms.iter())
+        {
+            wear.merge(&f.wear_report());
+            let pf = f.fault_stats();
+            self.faults.transient_read_faults += pf.read_transients;
+            self.faults.prog_failures += pf.prog_failures;
+            self.faults.erase_failures += pf.erase_failures;
+            self.faults.blocks_retired_by_fault += pf.blocks_force_retired;
+            for &(at, kind) in f.scheduled_faults() {
+                if at <= self.last_complete {
+                    match kind {
+                        FimmFaultKind::Dead => self.faults.fimm_deaths += 1,
+                        FimmFaultKind::Slowdown(_) => self.faults.fimm_slowdowns += 1,
                     }
                 }
             }
         }
+        self.recovery.degraded_p99_ns = self.degraded_lat.percentile(0.99);
         for sw in &self.switches {
             for link in std::iter::once(&sw.uplink).chain(sw.downlinks.iter()) {
                 self.faults.tlp_replays += link.down.replays() + link.up.replays();
@@ -1717,6 +2088,7 @@ impl Engine {
             ftl: self.ftl.stats(),
             wear,
             faults: self.faults,
+            recovery: self.recovery,
             events: self.events,
         }
     }
@@ -2100,5 +2472,123 @@ mod tests {
         naive_cfg.autonomic.naive_migration = true;
         let naive = Array::new(naive_cfg, ManagementMode::Autonomic).run(&trace);
         assert!(naive.iops() <= aaa.iops() * 1.05);
+    }
+
+    /// A read/write mix long enough for the power cut to land mid-burst.
+    fn mixed_trace(n: u64, gap_ns: u64) -> Trace {
+        (0..n)
+            .map(|i| TraceRequest {
+                at: SimTime::from_nanos(i * gap_ns),
+                op: if i % 3 == 0 { IoOp::Write } else { IoOp::Read },
+                lpn: LogicalPage(i % 1_024),
+                pages: 1,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn power_loss_mid_run_remounts_replays_and_verifies() {
+        use crate::config::PowerLossEvent;
+        let mut cfg = ArrayConfig::small_test();
+        cfg.faults = cfg.faults.with_power_loss(PowerLossEvent::at(1_500_000));
+        let trace = mixed_trace(2_000, 1_000);
+        let run = Array::new(cfg, ManagementMode::Autonomic).run_verified(&trace);
+        assert!(run.integrity.is_ok(), "{:?}", run.integrity);
+        let rec = run.report.recovery_stats();
+        assert_eq!(rec.power_losses, 1);
+        assert!(rec.remount_ns >= 2_000_000, "remount window missing");
+        assert!(
+            rec.lost_inflight_requests > 0,
+            "a 1.5ms cut into a 2ms burst must catch work in flight"
+        );
+        assert!(rec.requeued_requests > 0, "future submits must re-arrive");
+        // Every request either completed or was lost at the cut.
+        assert_eq!(
+            run.report.completed() + rec.lost_inflight_requests,
+            2_000,
+            "requests neither completed nor accounted as lost"
+        );
+        assert!(rec.journal_replayed > 0, "the journal tail should replay");
+    }
+
+    #[test]
+    fn power_loss_replay_is_deterministic() {
+        use crate::config::PowerLossEvent;
+        let mut cfg = ArrayConfig::small_test();
+        cfg.faults = cfg.faults.with_power_loss(PowerLossEvent::at(1_200_000));
+        let trace = mixed_trace(1_500, 900);
+        let a = Array::new(cfg, ManagementMode::Autonomic).run_verified(&trace);
+        let b = Array::new(cfg, ManagementMode::Autonomic).run_verified(&trace);
+        assert_eq!(a.report.completed(), b.report.completed());
+        assert_eq!(a.report.events_processed(), b.report.events_processed());
+        assert_eq!(a.report.recovery_stats(), b.report.recovery_stats());
+        assert_eq!(a.report.mean_latency_us(), b.report.mean_latency_us());
+    }
+
+    #[test]
+    fn hot_spare_rebuild_completes_and_reports() {
+        use crate::config::FimmFaultEvent;
+        let mut cfg = ArrayConfig::small_test();
+        cfg.hot_spares = 1;
+        cfg.faults = cfg.faults.with_fimm_event(FimmFaultEvent {
+            cluster: 0,
+            fimm: 0,
+            at_ns: 800_000,
+            kind: FimmFaultKind::Dead,
+        });
+        // Writes seed data across the array (including the doomed
+        // module), then reads ride through the death and the rebuild.
+        let trace: Trace = (0..1_500)
+            .map(|i| TraceRequest {
+                at: SimTime::from_nanos(i * 1_000),
+                op: if i < 500 { IoOp::Write } else { IoOp::Read },
+                lpn: LogicalPage(i % 512),
+                pages: 1,
+            })
+            .collect();
+        let run = Array::new(cfg, ManagementMode::Autonomic).run_verified(&trace);
+        assert!(run.integrity.is_ok(), "{:?}", run.integrity);
+        assert_eq!(run.report.completed(), 1_500);
+        let rec = run.report.recovery_stats();
+        assert_eq!(rec.rebuilds_completed, 1, "rebuild must finish");
+        assert!(rec.rebuild_ns > 0, "rebuild takes simulated time");
+        assert!(
+            rec.degraded_p99_ns > 0,
+            "completions inside the degraded window feed the p99"
+        );
+        // The death still shows in the fault census even though the
+        // module was swapped out for the spare.
+        assert_eq!(run.report.fault_stats().fimm_deaths, 1);
+    }
+
+    #[test]
+    fn unused_hot_spares_change_nothing() {
+        let trace = mixed_trace(800, 1_000);
+        let base = Array::new(ArrayConfig::small_test(), ManagementMode::Autonomic).run(&trace);
+        let mut cfg = ArrayConfig::small_test();
+        cfg.hot_spares = 2;
+        let spared = Array::new(cfg, ManagementMode::Autonomic).run(&trace);
+        assert_eq!(base.completed(), spared.completed());
+        assert_eq!(base.events_processed(), spared.events_processed());
+        assert_eq!(base.mean_latency_us(), spared.mean_latency_us());
+        assert!(!spared.recovery_stats().any());
+    }
+
+    #[test]
+    fn dead_module_without_spare_stays_degraded() {
+        use crate::config::FimmFaultEvent;
+        let mut cfg = ArrayConfig::small_test();
+        cfg.faults = cfg.faults.with_fimm_event(FimmFaultEvent {
+            cluster: 0,
+            fimm: 0,
+            at_ns: 500_000,
+            kind: FimmFaultKind::Dead,
+        });
+        let trace = mixed_trace(1_000, 1_000);
+        let run = Array::new(cfg, ManagementMode::Autonomic).run_verified(&trace);
+        assert!(run.integrity.is_ok());
+        let rec = run.report.recovery_stats();
+        assert_eq!(rec.rebuilds_completed, 0, "no spare, no rebuild");
+        assert_eq!(run.report.fault_stats().fimm_deaths, 1);
     }
 }

@@ -183,6 +183,15 @@ impl AutonomicState {
         self.inflight.len()
     }
 
+    /// Drops every in-flight claim: the management module's DRAM state is
+    /// volatile and does not survive a power cut. Durable rollback of the
+    /// half-built clones themselves is the FTL journal's job; this only
+    /// clears the engine-side bookkeeping so remounted traffic can claim
+    /// the pages again.
+    pub fn forget_inflight(&mut self) {
+        self.inflight.clear();
+    }
+
     /// Debounced laggard registration: returns `true` (and counts a
     /// detection) unless the same FIMM was flagged within the cooldown.
     pub fn register_laggard(&mut self, cluster: u32, fimm: u32, now: SimTime) -> bool {

@@ -146,6 +146,43 @@ pub struct FimmFaultEvent {
     pub kind: FimmFaultKind,
 }
 
+/// A scheduled whole-array power cut: at `at_ns` the management module
+/// loses its DRAM — the in-flight queue entries, the mapping cache, and
+/// every un-flushed journal record — while flash contents persist. The
+/// array then remounts: the FTL's recovery scan replays the flushed
+/// journal onto the last checkpoint, and requests that had not yet been
+/// submitted resume once the remount completes.
+///
+/// Configuring a power loss automatically enables metadata journaling in
+/// the FTL with the cadence given here.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PowerLossEvent {
+    /// Simulation time of the cut.
+    pub at_ns: Nanos,
+    /// Fixed remount cost: controller restart + checkpoint load.
+    pub remount_base_ns: Nanos,
+    /// Additional remount cost per flushed journal record replayed.
+    pub replay_ns_per_record: Nanos,
+    /// Journal group-commit cadence (records per flush).
+    pub flush_every: u32,
+    /// Flushed records between checkpoints.
+    pub checkpoint_every: u32,
+}
+
+impl PowerLossEvent {
+    /// A power cut at `at_ns` with default remount costs and journal
+    /// cadence.
+    pub fn at(at_ns: Nanos) -> Self {
+        PowerLossEvent {
+            at_ns,
+            remount_base_ns: 2_000_000,
+            replay_ns_per_record: 500,
+            flush_every: 8,
+            checkpoint_every: 4_096,
+        }
+    }
+}
+
 /// Deterministic fault-injection configuration for a whole run.
 ///
 /// The default is *quiet*: every probability zero and no scheduled
@@ -160,6 +197,8 @@ pub struct FaultConfig {
     pub pcie: PcieFaultProfile,
     /// Scheduled whole-FIMM failures/slowdowns.
     pub fimm_events: [Option<FimmFaultEvent>; MAX_FIMM_FAULT_EVENTS],
+    /// Scheduled whole-array power cut (at most one per run).
+    pub power_loss: Option<PowerLossEvent>,
     /// Master seed; per-package and per-link RNG streams derive from it,
     /// so equal seeds reproduce the exact same fault pattern.
     pub seed: u64,
@@ -168,7 +207,16 @@ pub struct FaultConfig {
 impl FaultConfig {
     /// `true` when nothing can ever fire: no probabilities, no events.
     pub fn is_quiet(&self) -> bool {
-        self.flash.is_quiet() && self.pcie.is_quiet() && self.fimm_events.iter().all(|e| e.is_none())
+        self.flash.is_quiet()
+            && self.pcie.is_quiet()
+            && self.fimm_events.iter().all(|e| e.is_none())
+            && self.power_loss.is_none()
+    }
+
+    /// Schedules a whole-array power cut.
+    pub fn with_power_loss(mut self, ev: PowerLossEvent) -> Self {
+        self.power_loss = Some(ev);
+        self
     }
 
     /// Adds a scheduled FIMM fault in the first free slot.
@@ -324,6 +372,13 @@ pub struct ArrayConfig {
     pub opportunistic_gc: bool,
     /// GC victim-selection policy (greedy / cost-benefit / FIFO).
     pub gc_policy: GcPolicy,
+    /// Hot-spare FIMMs kept powered but unused. When a scheduled fault
+    /// kills a module and a spare remains, the autonomic layer rebuilds
+    /// the dead module's pages onto the spare in the background (reading
+    /// survivors' copies via recovery reads), then swaps the spare into
+    /// the dead module's slot. `0` (default) disables rebuild: dead
+    /// modules stay dead and reads fail over to siblings forever.
+    pub hot_spares: u32,
     /// Seed for the simulator's internal tie-breaking RNG.
     pub seed: u64,
     /// Record the per-request `(submit, latency)` series (Figure 16).
@@ -344,6 +399,7 @@ impl Default for ArrayConfig {
             mapping_cache_pages: 0,
             opportunistic_gc: false,
             gc_policy: GcPolicy::Greedy,
+            hot_spares: 0,
             seed: 0xAAA_2014,
             collect_series: false,
             faults: FaultConfig::default(),
@@ -557,6 +613,12 @@ impl ArrayConfigBuilder {
     /// Sets the GC victim-selection policy.
     pub fn gc_policy(mut self, policy: GcPolicy) -> Self {
         self.cfg.gc_policy = policy;
+        self
+    }
+
+    /// Sets the number of hot-spare FIMMs available for rebuild.
+    pub fn hot_spares(mut self, n: u32) -> Self {
+        self.cfg.hot_spares = n;
         self
     }
 
@@ -792,6 +854,23 @@ mod tests {
         assert_eq!(c.seed, 7);
         assert!(c.collect_series);
         assert_eq!(c.gc_policy, GcPolicy::CostBenefit);
+    }
+
+    #[test]
+    fn power_loss_breaks_quiet() {
+        let fc = FaultConfig::default().with_power_loss(PowerLossEvent::at(9_000_000));
+        assert!(!fc.is_quiet());
+        let ev = fc.power_loss.unwrap();
+        assert_eq!(ev.at_ns, 9_000_000);
+        assert!(ev.remount_base_ns > 0);
+        assert!(ev.flush_every >= 1 && ev.checkpoint_every >= 1);
+    }
+
+    #[test]
+    fn hot_spares_builder() {
+        let c = ArrayConfig::small_builder().hot_spares(2).build().unwrap();
+        assert_eq!(c.hot_spares, 2);
+        assert_eq!(ArrayConfig::default().hot_spares, 0);
     }
 
     #[test]

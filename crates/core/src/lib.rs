@@ -53,9 +53,9 @@ pub use array::{Array, VerifiedRun};
 pub use autonomic::{AutonomicState, AutonomicStats};
 pub use config::{
     ArrayConfig, ArrayConfigBuilder, AutonomicParams, ConfigError, FaultConfig, FimmFaultEvent,
-    LaggardStrategy, ManagementMode, MAX_FIMM_FAULT_EVENTS,
+    LaggardStrategy, ManagementMode, PowerLossEvent, MAX_FIMM_FAULT_EVENTS,
 };
-pub use metrics::{FaultStats, RunReport};
+pub use metrics::{FaultStats, RecoveryStats, RunReport};
 pub use request::{Breakdown, IoOp, Trace, TraceRequest};
 pub use simulation::{Simulation, SimulationBuilder};
 

@@ -77,6 +77,73 @@ impl std::fmt::Display for FaultStats {
     }
 }
 
+/// Crash-recovery and self-healing activity observed during one run:
+/// power-loss remounts (journal replay) and hot-spare rebuilds.
+///
+/// All-zero (see [`RecoveryStats::any`]) when no power loss was
+/// scheduled and no rebuild ran.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct RecoveryStats {
+    /// Whole-array power cuts survived.
+    pub power_losses: u64,
+    /// Flushed journal records replayed by mount-time recovery scans.
+    pub journal_replayed: u64,
+    /// Un-flushed journal records lost to the cut.
+    pub journal_dropped: u64,
+    /// Mid-flight migration clones rolled back by recovery scans.
+    pub aborted_clones: u64,
+    /// Requests that were in flight at the cut and never completed.
+    pub lost_inflight_requests: u64,
+    /// Queued requests re-submitted after the remount finished.
+    pub requeued_requests: u64,
+    /// Total simulated time the array spent remounting.
+    pub remount_ns: u64,
+    /// Hot-spare rebuilds completed.
+    pub rebuilds_completed: u64,
+    /// Live pages copied onto spares by rebuilds.
+    pub rebuild_pages: u64,
+    /// Summed duration of completed rebuilds (death → spare swapped in).
+    pub rebuild_ns: u64,
+    /// p99 end-to-end latency (ns) of host requests that completed while
+    /// a module was dead and its rebuild still running — the
+    /// degraded-mode service quality.
+    pub degraded_p99_ns: u64,
+}
+
+impl RecoveryStats {
+    /// `true` when any recovery activity was recorded.
+    pub fn any(&self) -> bool {
+        *self != RecoveryStats::default()
+    }
+}
+
+impl std::fmt::Display for RecoveryStats {
+    /// A one-line summary; `"no recovery activity"` when idle.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if !self.any() {
+            return write!(f, "no recovery activity");
+        }
+        write!(
+            f,
+            "{} power losses ({} replayed, {} dropped, {} clones aborted, \
+             {} lost, {} requeued, {}ns remount), {} rebuilds ({} pages, \
+             {}ns, degraded p99 {}ns)",
+            self.power_losses,
+            self.journal_replayed,
+            self.journal_dropped,
+            self.aborted_clones,
+            self.lost_inflight_requests,
+            self.requeued_requests,
+            self.remount_ns,
+            self.rebuilds_completed,
+            self.rebuild_pages,
+            self.rebuild_ns,
+            self.degraded_p99_ns
+        )
+    }
+}
+
 /// Everything measured during a run; the benchmark harness derives every
 /// table row and figure series from this.
 #[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -101,6 +168,7 @@ pub struct RunReport {
     pub(crate) ftl: FtlStats,
     pub(crate) wear: WearReport,
     pub(crate) faults: FaultStats,
+    pub(crate) recovery: RecoveryStats,
     pub(crate) events: u64,
 }
 
@@ -306,6 +374,12 @@ impl RunReport {
         self.faults
     }
 
+    /// Crash-recovery activity: power-loss remounts and hot-spare
+    /// rebuilds.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery
+    }
+
     /// Simulator events processed (diagnostics / perf benches).
     pub fn events_processed(&self) -> u64 {
         self.events
@@ -383,6 +457,14 @@ impl std::fmt::Display for RunReport {
                 self.faults.migration_rollbacks
             )?;
         }
+        if self.recovery.any() {
+            write!(
+                f,
+                "
+  recovery: {}",
+                self.recovery
+            )?;
+        }
         Ok(())
     }
 }
@@ -413,6 +495,7 @@ mod tests {
             ftl: FtlStats::default(),
             wear: WearReport::default(),
             faults: FaultStats::default(),
+            recovery: RecoveryStats::default(),
             events: 0,
         }
     }
@@ -470,6 +553,22 @@ mod tests {
         let text = r.to_string();
         assert!(text.contains("7 transient reads"));
         assert!(text.contains("2 rollbacks"));
+    }
+
+    #[test]
+    fn recovery_stats_render_only_when_present() {
+        let mut r = empty_report();
+        r.completed = 1;
+        assert!(!r.recovery_stats().any());
+        assert!(!r.to_string().contains("recovery:"));
+        r.recovery.power_losses = 1;
+        r.recovery.journal_replayed = 42;
+        r.recovery.rebuilds_completed = 1;
+        assert!(r.recovery_stats().any());
+        let text = r.to_string();
+        assert!(text.contains("1 power losses"));
+        assert!(text.contains("42 replayed"));
+        assert!(text.contains("1 rebuilds"));
     }
 
     #[test]

@@ -51,10 +51,14 @@ pub struct FimmStats {
 #[derive(Clone, Debug)]
 pub struct Fimm {
     packages: Vec<Package>,
-    /// Scheduled whole-module fault, if any. Fires lazily the first time
-    /// the simulation clock passes `at`; faults are permanent.
-    fault: Option<(SimTime, FimmFaultKind)>,
-    slowdown_applied: bool,
+    /// Scheduled whole-module faults, ordered by `(fire time, insertion
+    /// order)`. Each fires lazily the first time the simulation clock
+    /// passes its instant; faults are permanent.
+    faults: Vec<(SimTime, FimmFaultKind)>,
+    /// How many leading entries of `faults` have already been applied.
+    applied: usize,
+    /// Cumulative latency multiplier from every slowdown fired so far.
+    latency_scale: u32,
     dead_reported: bool,
     trace: TracePort,
 }
@@ -71,8 +75,9 @@ impl Fimm {
             packages: (0..n_packages)
                 .map(|_| Package::new(geom, timing))
                 .collect(),
-            fault: None,
-            slowdown_applied: false,
+            faults: Vec::new(),
+            applied: 0,
+            latency_scale: 1,
             dead_reported: false,
             trace: TracePort::off(),
         }
@@ -90,21 +95,33 @@ impl Fimm {
     }
 
     /// Schedules a permanent whole-module fault to fire at `at`.
+    ///
+    /// Any number of faults may be queued, including several at the same
+    /// instant (and at `t = 0`). Application order is deterministic and
+    /// documented: faults fire sorted by `(fire time, scheduling
+    /// order)`. At a shared instant, [`FimmFaultKind::Dead`] dominates —
+    /// operations are refused from that instant onward regardless of
+    /// what else is queued there — while co-scheduled
+    /// [`FimmFaultKind::Slowdown`]s compound multiplicatively (their
+    /// mutual order is therefore unobservable). Schedule faults before
+    /// the first operation; the queue is consumed as the clock advances.
     pub fn schedule_fault(&mut self, at: SimTime, kind: FimmFaultKind) {
-        self.fault = Some((at, kind));
-        self.slowdown_applied = false;
+        let pos = self.faults.partition_point(|&(t, _)| t <= at);
+        self.faults.insert(pos, (at, kind));
     }
 
-    /// The scheduled module fault, if any.
-    pub fn scheduled_fault(&self) -> Option<(SimTime, FimmFaultKind)> {
-        self.fault
+    /// All scheduled module faults, in their deterministic firing order.
+    pub fn scheduled_faults(&self) -> &[(SimTime, FimmFaultKind)] {
+        &self.faults
     }
 
     /// `true` once a scheduled [`FimmFaultKind::Dead`] fault has fired:
     /// the module no longer answers and its data must be served (or
     /// redirected) elsewhere.
     pub fn is_dead_at(&self, now: SimTime) -> bool {
-        matches!(self.fault, Some((at, FimmFaultKind::Dead)) if now >= at)
+        self.faults
+            .iter()
+            .any(|&(at, k)| k == FimmFaultKind::Dead && now >= at)
     }
 
     /// Arms deterministic per-package NAND fault injection, deriving a
@@ -127,17 +144,21 @@ impl Fimm {
         acc
     }
 
-    /// Applies a due slowdown fault to the packages (idempotent).
+    /// Applies every due, not-yet-applied fault in queue order
+    /// (idempotent per entry). Slowdowns compound: each multiplies the
+    /// module's cumulative latency scale.
     fn fire_due_faults(&mut self, now: SimTime) {
-        if self.slowdown_applied {
-            return;
-        }
-        if let Some((at, FimmFaultKind::Slowdown(scale))) = self.fault {
-            if now >= at {
+        while let Some(&(at, kind)) = self.faults.get(self.applied) {
+            if now < at {
+                break;
+            }
+            self.applied += 1;
+            if let FimmFaultKind::Slowdown(scale) = kind {
+                self.latency_scale = self.latency_scale.saturating_mul(scale.max(1));
+                let cumulative = self.latency_scale;
                 for p in &mut self.packages {
-                    p.set_latency_scale(scale);
+                    p.set_latency_scale(cumulative);
                 }
-                self.slowdown_applied = true;
                 self.trace.emit(|| TraceEventKind::FaultInjected {
                     domain: "fimm",
                     detail: "slowdown",
@@ -415,9 +436,82 @@ mod tests {
         assert_eq!(after.end - after.start, 8 * 26_000, "laggard after");
         assert!(!f.is_dead_at(SimTime::from_us(1_000)), "slow, not dead");
         assert_eq!(
-            f.scheduled_fault(),
-            Some((SimTime::from_us(50), FimmFaultKind::Slowdown(8)))
+            f.scheduled_faults(),
+            &[(SimTime::from_us(50), FimmFaultKind::Slowdown(8))]
         );
+    }
+
+    #[test]
+    fn fault_at_time_zero_applies_to_first_op() {
+        let mut slow = fimm();
+        slow.schedule_fault(SimTime::ZERO, FimmFaultKind::Slowdown(4));
+        let t = slow
+            .begin_op(SimTime::ZERO, 0, &FlashCommand::read(addr(0, 0, 0).page))
+            .unwrap();
+        assert_eq!(t.end - t.start, 4 * 26_000, "t=0 slowdown hits op at t=0");
+
+        let mut dead = fimm();
+        dead.schedule_fault(SimTime::ZERO, FimmFaultKind::Dead);
+        assert!(dead.is_dead_at(SimTime::ZERO));
+        assert_eq!(
+            dead.begin_op(SimTime::ZERO, 0, &FlashCommand::read(addr(0, 0, 0).page)),
+            Err(FlashError::ModuleFailed)
+        );
+    }
+
+    #[test]
+    fn coscheduled_slowdowns_compound() {
+        let mut f = fimm();
+        f.schedule_fault(SimTime::from_us(10), FimmFaultKind::Slowdown(2));
+        f.schedule_fault(SimTime::from_us(10), FimmFaultKind::Slowdown(4));
+        let t = f
+            .begin_op(SimTime::from_us(10), 0, &FlashCommand::read(addr(0, 0, 0).page))
+            .unwrap();
+        assert_eq!(t.end - t.start, 8 * 26_000, "2x and 4x compound to 8x");
+        assert_eq!(f.scheduled_faults().len(), 2);
+    }
+
+    #[test]
+    fn dead_dominates_coscheduled_slowdown() {
+        // Regardless of scheduling order, Dead at the same instant wins:
+        // the module refuses operations from that instant.
+        for flip in [false, true] {
+            let mut f = fimm();
+            let (a, b) = (FimmFaultKind::Dead, FimmFaultKind::Slowdown(8));
+            let (first, second) = if flip { (b, a) } else { (a, b) };
+            f.schedule_fault(SimTime::from_us(10), first);
+            f.schedule_fault(SimTime::from_us(10), second);
+            assert_eq!(
+                f.begin_op(SimTime::from_us(10), 0, &FlashCommand::read(addr(0, 0, 0).page)),
+                Err(FlashError::ModuleFailed)
+            );
+        }
+    }
+
+    #[test]
+    fn faults_fire_in_timestamp_then_insertion_order() {
+        let mut f = fimm();
+        // Scheduled out of order; the queue sorts by fire time, keeping
+        // insertion order for ties.
+        f.schedule_fault(SimTime::from_us(30), FimmFaultKind::Slowdown(3));
+        f.schedule_fault(SimTime::from_us(10), FimmFaultKind::Slowdown(2));
+        f.schedule_fault(SimTime::from_us(30), FimmFaultKind::Slowdown(5));
+        assert_eq!(
+            f.scheduled_faults(),
+            &[
+                (SimTime::from_us(10), FimmFaultKind::Slowdown(2)),
+                (SimTime::from_us(30), FimmFaultKind::Slowdown(3)),
+                (SimTime::from_us(30), FimmFaultKind::Slowdown(5)),
+            ]
+        );
+        let t = f
+            .begin_op(SimTime::from_us(20), 0, &FlashCommand::read(addr(0, 0, 0).page))
+            .unwrap();
+        assert_eq!(t.end - t.start, 2 * 26_000, "only the first fault is due");
+        let t = f
+            .begin_op(SimTime::from_us(30), 1, &FlashCommand::read(addr(1, 0, 0).page))
+            .unwrap();
+        assert_eq!(t.end - t.start, 30 * 26_000, "all three compound: 2*3*5");
     }
 
     #[test]

@@ -34,6 +34,49 @@ impl std::fmt::Display for FtlError {
 
 impl std::error::Error for FtlError {}
 
+/// A mount-time recovery scan failure: the journal replay could not
+/// reconstruct the pre-crash metadata. Either the replayed operation
+/// itself failed, or it produced a different physical location than the
+/// journal recorded — both indicate the journal and the checkpoint have
+/// diverged and the metadata cannot be trusted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// Re-driving a journaled operation failed outright.
+    Replay {
+        /// Index of the failing record within the flushed journal.
+        index: u64,
+        /// The underlying FTL error.
+        error: FtlError,
+    },
+    /// Replay succeeded but produced a result different from what the
+    /// journal recorded at original execution time.
+    Diverged {
+        /// Index of the diverging record within the flushed journal.
+        index: u64,
+        /// The logical page whose replay diverged.
+        lpn: LogicalPage,
+    },
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::Replay { index, error } => {
+                write!(f, "journal replay failed at record {index}: {error}")
+            }
+            RecoveryError::Diverged { index, lpn } => {
+                write!(
+                    f,
+                    "journal replay diverged at record {index} (lpn {})",
+                    lpn.0
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
 /// A metadata-integrity violation found by
 /// [`Ftl::verify_integrity`](crate::Ftl::verify_integrity), identifying
 /// exactly which logical page and physical location diverged.

@@ -6,7 +6,8 @@ use triplea_pcie::ClusterId;
 use triplea_sim::trace::{TraceEventKind, TracePort, TraceScope};
 
 use crate::alloc::{BlockKey, FimmAllocator};
-use crate::error::{FtlError, IntegrityError};
+use crate::error::{FtlError, IntegrityError, RecoveryError};
+use crate::journal::{Checkpoint, Journal, JournalConfig, JournalRecord, JournalStats, RecoveryOutcome};
 use crate::map::PageMap;
 use crate::mapcache::MappingCache;
 use crate::shape::{ArrayShape, LogicalPage, PhysLoc};
@@ -42,7 +43,7 @@ pub enum GcPolicy {
 }
 
 #[derive(Clone, Debug, Default)]
-struct BlockUse {
+pub(crate) struct BlockUse {
     programmed: u32,
     lpns: FxHashMap<u32, LogicalPage>,
     /// Monotonic sequence assigned when the block sealed (filled); used
@@ -54,6 +55,25 @@ impl BlockUse {
     fn invalid(&self) -> u32 {
         self.programmed - self.lpns.len() as u32
     }
+}
+
+/// One block of a dead module's rebuild manifest (see
+/// [`Ftl::rebuild_manifest`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RebuildUnit {
+    /// Package the block lives on.
+    pub package: u32,
+    /// Die within the package.
+    pub die: u32,
+    /// Die-local block number.
+    pub block: u32,
+    /// Length of the programmed prefix to restore: the spare must end up
+    /// with pages `0..programmed` programmed, in order.
+    pub programmed: u32,
+    /// Page offsets (sorted) holding live data — these need
+    /// reconstruction reads from sibling modules; the rest of the prefix
+    /// is filler.
+    pub live: Vec<u32>,
 }
 
 /// A unit of garbage-collection work: one victim block and the live pages
@@ -90,6 +110,12 @@ pub struct Ftl {
     gc_policy: GcPolicy,
     seal_seq: u64,
     stats: FtlStats,
+    /// Metadata journal; `None` models battery-backed (durable) map DRAM
+    /// where power loss cannot lose translations.
+    journal: Option<Box<Journal>>,
+    /// Set while a recovery scan re-drives journaled operations, so the
+    /// replayed mutations are not journaled again.
+    replaying: bool,
     /// Event-trace sink; detached (free) unless the embedding simulation
     /// calls [`Ftl::attach_trace`].
     trace: TracePort,
@@ -97,7 +123,7 @@ pub struct Ftl {
 
 /// Why a page is being written; selects the stat bucket.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum WriteClass {
+pub(crate) enum WriteClass {
     Host,
     Migration,
     Gc,
@@ -116,6 +142,8 @@ impl Ftl {
             gc_policy: GcPolicy::Greedy,
             seal_seq: 0,
             stats: FtlStats::default(),
+            journal: None,
+            replaying: false,
             trace: TracePort::off(),
         }
     }
@@ -233,7 +261,7 @@ impl Ftl {
             addr,
         };
         let old = self.map.remap(lpn, new_loc);
-        self.invalidate(old);
+        self.invalidate(lpn, old);
         let gkey = (
             self.shape.topology.global_index(cluster),
             fimm,
@@ -251,17 +279,29 @@ impl Ftl {
             WriteClass::Migration => self.stats.migration_writes += 1,
             WriteClass::Gc => self.stats.gc_writes += 1,
         }
+        self.journal_append(JournalRecord::Write {
+            lpn,
+            cluster,
+            fimm,
+            class,
+            loc: new_loc,
+        });
         Ok(new_loc)
     }
 
-    fn invalidate(&mut self, old: PhysLoc) {
+    fn invalidate(&mut self, lpn: LogicalPage, old: PhysLoc) {
         let gkey = (
             self.shape.topology.global_index(old.cluster),
             old.fimm,
             (old.addr.package, old.addr.page.die, old.addr.page.block),
         );
         if let Some(b) = self.blocks.get_mut(&gkey) {
-            if b.lpns.remove(&old.addr.page.page).is_some() {
+            // Only drop the entry when it records *this* LPN: a
+            // never-written page's default-layout home can coincide with
+            // a physical page the log allocator already handed to a
+            // different LPN, and that page must stay live.
+            if b.lpns.get(&old.addr.page.page) == Some(&lpn) {
+                b.lpns.remove(&old.addr.page.page);
                 self.stats.invalidations += 1;
             }
         }
@@ -352,6 +392,12 @@ impl Ftl {
             entry.sealed_seq = self.seal_seq;
         }
         self.stats.migration_writes += 1;
+        self.journal_append(JournalRecord::Prepare {
+            lpn,
+            cluster: to_cluster,
+            fimm: to_fimm,
+            loc: new_loc,
+        });
         Ok(new_loc)
     }
 
@@ -366,14 +412,22 @@ impl Ftl {
         new_loc: PhysLoc,
         expected_old: PhysLoc,
     ) -> bool {
-        if self.map.locate(lpn) != expected_old {
+        let committed = if self.map.locate(lpn) != expected_old {
             // The data moved under us; discard the clone.
-            self.invalidate(new_loc);
-            return false;
-        }
-        let old = self.map.remap(lpn, new_loc);
-        self.invalidate(old);
-        true
+            self.invalidate(lpn, new_loc);
+            false
+        } else {
+            let old = self.map.remap(lpn, new_loc);
+            self.invalidate(lpn, old);
+            true
+        };
+        self.journal_append(JournalRecord::Commit {
+            lpn,
+            new_loc,
+            expected_old,
+            committed,
+        });
+        committed
     }
 
     /// Rolls back a clone-then-unlink migration whose copy failed
@@ -383,11 +437,14 @@ impl Ftl {
     /// does nothing) in the pathological case where the clone was already
     /// committed as the live mapping.
     pub fn migrate_abort(&mut self, lpn: LogicalPage, new_loc: PhysLoc) -> bool {
-        if self.map.locate(lpn) == new_loc {
-            return false;
-        }
-        self.invalidate(new_loc);
-        true
+        let ok = if self.map.locate(lpn) == new_loc {
+            false
+        } else {
+            self.invalidate(lpn, new_loc);
+            true
+        };
+        self.journal_append(JournalRecord::Abort { lpn, new_loc, ok });
+        ok
     }
 
     /// Quarantines the block holding `loc` after a hardware program/erase
@@ -400,6 +457,7 @@ impl Ftl {
             loc.addr.page.die,
             loc.addr.page.block,
         ));
+        self.journal_append(JournalRecord::Quarantine { loc });
     }
 
     /// End-to-end metadata integrity check; `Err` describes the first
@@ -476,6 +534,14 @@ impl Ftl {
         let key = (work.package, work.die, work.block);
         self.blocks.remove(&(gc, work.fimm, key));
         self.allocator(work.cluster, work.fimm).quarantine(key);
+        self.journal_append(JournalRecord::GcFinish {
+            cluster: work.cluster,
+            fimm: work.fimm,
+            package: work.package,
+            die: work.die,
+            block: work.block,
+            ok: false,
+        });
     }
 
     /// `true` when the FIMM's free-block pool has shrunk below
@@ -534,6 +600,39 @@ impl Ftl {
             })
     }
 
+    /// Computes the device-restoration manifest for one FIMM: every
+    /// block the FTL believes holds programmed pages, with the length of
+    /// its programmed prefix and the page offsets that are still live.
+    ///
+    /// A hot-spare rebuild replays exactly this onto the replacement
+    /// module. The full prefix — stale pages included — must be
+    /// re-programmed because NAND programs are strictly in-order within
+    /// a block and the allocator will hand out page `programmed` next;
+    /// only the live offsets need reconstruction reads from siblings.
+    /// Units are sorted by `(package, die, block)` for deterministic
+    /// replay.
+    pub fn rebuild_manifest(&self, cluster: ClusterId, fimm: u32) -> Vec<RebuildUnit> {
+        let g = self.shape.topology.global_index(cluster);
+        let mut units: Vec<RebuildUnit> = self
+            .blocks
+            .iter()
+            .filter(|((c, f, _), b)| *c == g && *f == fimm && b.programmed > 0)
+            .map(|((_, _, key), b)| {
+                let mut live: Vec<u32> = b.lpns.keys().copied().collect();
+                live.sort_unstable();
+                RebuildUnit {
+                    package: key.0,
+                    die: key.1,
+                    block: key.2,
+                    programmed: b.programmed,
+                    live,
+                }
+            })
+            .collect();
+        units.sort_unstable_by_key(|u| (u.package, u.die, u.block));
+        units
+    }
+
     /// Rewrites one live page out of a GC victim. Returns `Ok(None)` if
     /// the page has moved since the victim was picked (stale work).
     ///
@@ -566,11 +665,227 @@ impl Ftl {
         self.blocks.remove(&(gc, work.fimm, key));
         self.allocator(work.cluster, work.fimm).recycle(key);
         self.stats.gc_erases += 1;
+        self.journal_append(JournalRecord::GcFinish {
+            cluster: work.cluster,
+            fimm: work.fimm,
+            package: work.package,
+            die: work.die,
+            block: work.block,
+            ok: true,
+        });
     }
 
     /// Host-side total erase count performed via GC on one FIMM.
     pub fn fimm_free_blocks(&mut self, cluster: ClusterId, fimm: u32) -> u64 {
         self.allocator(cluster, fimm).free_blocks()
+    }
+
+    /// A deep copy of the durable translation state, used as a journal
+    /// checkpoint.
+    fn snapshot(&self) -> Checkpoint {
+        Checkpoint {
+            map: self.map.clone(),
+            allocs: self.allocs.clone(),
+            blocks: self.blocks.clone(),
+            seal_seq: self.seal_seq,
+            stats: self.stats,
+        }
+    }
+
+    /// Turns on metadata journaling with the given durability cadence,
+    /// taking an initial checkpoint of the current state. Without a
+    /// journal, [`Ftl::power_loss`] treats the whole map as durable
+    /// (battery-backed DRAM).
+    pub fn enable_journal(&mut self, cfg: JournalConfig) {
+        self.journal = Some(Box::new(Journal::new(cfg, self.snapshot())));
+    }
+
+    /// Journal activity counters; `None` when journaling is off.
+    pub fn journal_stats(&self) -> Option<JournalStats> {
+        self.journal.as_ref().map(|j| j.stats)
+    }
+
+    /// Journal records not yet made durable by a group commit — exactly
+    /// what the next power cut would lose.
+    pub fn journal_unflushed(&self) -> u64 {
+        self.journal
+            .as_ref()
+            .map_or(0, |j| (j.records.len() - j.flushed) as u64)
+    }
+
+    /// Appends a mutation record (no-op when journaling is off or while
+    /// a recovery scan is re-driving journaled operations), flushing and
+    /// checkpointing per the configured cadence.
+    fn journal_append(&mut self, rec: JournalRecord) {
+        if self.replaying {
+            return;
+        }
+        let needs_checkpoint = match self.journal.as_mut() {
+            None => return,
+            Some(j) => j.append(rec),
+        };
+        if needs_checkpoint {
+            let snap = self.snapshot();
+            if let Some(j) = self.journal.as_mut() {
+                j.install_checkpoint(snap);
+                let records = j.stats.appended;
+                self.trace
+                    .emit(|| TraceEventKind::JournalCheckpoint { records });
+            }
+        }
+    }
+
+    /// Simulates losing power: all volatile metadata is discarded and
+    /// the mount-time recovery scan runs.
+    ///
+    /// The mapping cache (if any) restarts cold. With journaling on, the
+    /// translation state rewinds to the last checkpoint, flushed journal
+    /// records are replayed in order (each cross-checked against the
+    /// physical location the original execution recorded), un-flushed
+    /// records are dropped, and migration clones caught mid-flight are
+    /// rolled back; the scan closes with a fresh checkpoint. Without a
+    /// journal the map is modelled as durable and nothing is lost.
+    ///
+    /// # Errors
+    ///
+    /// [`RecoveryError`] when replay cannot reproduce the journaled
+    /// outcome — the metadata has diverged and must not be trusted.
+    pub fn power_loss(&mut self) -> Result<RecoveryOutcome, RecoveryError> {
+        if let Some(c) = &self.mapcache {
+            // The translation cache lives in volatile DRAM.
+            self.mapcache = Some(MappingCache::new(c.capacity()));
+        }
+        let Some(mut j) = self.journal.take() else {
+            return Ok(RecoveryOutcome::default());
+        };
+        let dropped = (j.records.len() - j.flushed) as u64;
+        j.records.truncate(j.flushed);
+
+        // Rewind to the checkpoint.
+        self.map = j.checkpoint.map.clone();
+        self.allocs = j.checkpoint.allocs.clone();
+        self.blocks = j.checkpoint.blocks.clone();
+        self.seal_seq = j.checkpoint.seal_seq;
+        self.stats = j.checkpoint.stats;
+
+        // Replay the durable journal, tracking clones still in flight.
+        self.replaying = true;
+        let mut outstanding: Vec<(LogicalPage, PhysLoc)> = Vec::new();
+        let result = self.replay(&j.records, &mut outstanding);
+        let replayed = match result {
+            Ok(n) => n,
+            Err(e) => {
+                self.replaying = false;
+                self.journal = Some(j);
+                return Err(e);
+            }
+        };
+
+        // A prepared clone whose commit/abort never became durable is
+        // rolled back, exactly like an aborted migration.
+        let aborted_clones = outstanding.len() as u64;
+        for (lpn, loc) in outstanding {
+            self.migrate_abort(lpn, loc);
+        }
+        self.replaying = false;
+
+        // The recovery scan ends with a durable checkpoint.
+        j.install_checkpoint(self.snapshot());
+        j.stats.replayed += replayed;
+        j.stats.dropped += dropped;
+        j.stats.power_losses += 1;
+        self.journal = Some(j);
+        self.trace
+            .emit(|| TraceEventKind::JournalReplay { replayed, dropped });
+        Ok(RecoveryOutcome {
+            replayed,
+            dropped,
+            aborted_clones,
+        })
+    }
+
+    /// Re-drives `records` in order against the restored checkpoint,
+    /// cross-checking each outcome. Deterministic allocation guarantees
+    /// replay lands every page exactly where the original run did.
+    fn replay(
+        &mut self,
+        records: &[JournalRecord],
+        outstanding: &mut Vec<(LogicalPage, PhysLoc)>,
+    ) -> Result<u64, RecoveryError> {
+        for (i, rec) in records.iter().enumerate() {
+            let index = i as u64;
+            match *rec {
+                JournalRecord::Write {
+                    lpn,
+                    cluster,
+                    fimm,
+                    class,
+                    loc,
+                } => {
+                    let got = self
+                        .write_internal(lpn, (cluster, fimm), class)
+                        .map_err(|error| RecoveryError::Replay { index, error })?;
+                    if got != loc {
+                        return Err(RecoveryError::Diverged { index, lpn });
+                    }
+                }
+                JournalRecord::Prepare {
+                    lpn,
+                    cluster,
+                    fimm,
+                    loc,
+                } => {
+                    let got = self
+                        .migrate_prepare(lpn, cluster, fimm)
+                        .map_err(|error| RecoveryError::Replay { index, error })?;
+                    if got != loc {
+                        return Err(RecoveryError::Diverged { index, lpn });
+                    }
+                    outstanding.push((lpn, loc));
+                }
+                JournalRecord::Commit {
+                    lpn,
+                    new_loc,
+                    expected_old,
+                    committed,
+                } => {
+                    if self.migrate_commit(lpn, new_loc, expected_old) != committed {
+                        return Err(RecoveryError::Diverged { index, lpn });
+                    }
+                    outstanding.retain(|&(l, loc)| (l, loc) != (lpn, new_loc));
+                }
+                JournalRecord::Abort { lpn, new_loc, ok } => {
+                    if self.migrate_abort(lpn, new_loc) != ok {
+                        return Err(RecoveryError::Diverged { index, lpn });
+                    }
+                    outstanding.retain(|&(l, loc)| (l, loc) != (lpn, new_loc));
+                }
+                JournalRecord::Quarantine { loc } => self.quarantine_block(loc),
+                JournalRecord::GcFinish {
+                    cluster,
+                    fimm,
+                    package,
+                    die,
+                    block,
+                    ok,
+                } => {
+                    let work = GcWork {
+                        cluster,
+                        fimm,
+                        package,
+                        die,
+                        block,
+                        valid: Vec::new(),
+                    };
+                    if ok {
+                        self.gc_finish(&work);
+                    } else {
+                        self.gc_finish_failed(&work);
+                    }
+                }
+            }
+        }
+        Ok(records.len() as u64)
     }
 }
 
@@ -764,7 +1079,7 @@ mod tests {
         let loc = f.write_alloc(lpn, None).unwrap();
         f.verify_integrity().unwrap();
         // Simulate a buggy rollback that invalidates the live mapping.
-        f.invalidate(loc);
+        f.invalidate(lpn, loc);
         let err = f.verify_integrity().unwrap_err();
         assert!(
             matches!(err, IntegrityError::LostPage { lpn: l, .. } if l == lpn),
@@ -865,5 +1180,148 @@ mod tests {
         assert!(!f.needs_gc(c, 0, 1));
         let total = f.fimm_free_blocks(c, 0);
         assert!(f.needs_gc(c, 0, total + 1));
+    }
+
+    use crate::journal::JournalConfig;
+
+    /// flush_every=1 makes every record durable immediately.
+    fn eager_journal() -> JournalConfig {
+        JournalConfig {
+            flush_every: 1,
+            checkpoint_every: 1_000_000,
+        }
+    }
+
+    #[test]
+    fn power_loss_without_journal_is_durable() {
+        let mut f = ftl();
+        let lpn = LogicalPage(9);
+        let loc = f.write_alloc(lpn, None).unwrap();
+        let out = f.power_loss().unwrap();
+        assert_eq!(out, crate::journal::RecoveryOutcome::default());
+        assert_eq!(f.locate(lpn), loc, "battery-backed map survives");
+        f.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn journal_replay_reconstructs_flushed_state() {
+        let mut f = ftl();
+        f.enable_journal(eager_journal());
+        let lpns: Vec<LogicalPage> = (0..40).map(|i| LogicalPage(i * 13)).collect();
+        for &l in &lpns {
+            f.write_alloc(l, None).unwrap();
+        }
+        // A committed clone-then-unlink migration, too.
+        let mover = lpns[3];
+        let old = f.locate(mover);
+        let dst = ClusterId {
+            switch: old.cluster.switch,
+            index: (old.cluster.index + 1) % f.shape().topology.clusters_per_switch,
+        };
+        let clone = f.migrate_prepare(mover, dst, 0).unwrap();
+        assert!(f.migrate_commit(mover, clone, old));
+        let before: Vec<PhysLoc> = lpns.iter().map(|&l| f.locate(l)).collect();
+        let stats_before = f.stats();
+
+        let out = f.power_loss().unwrap();
+        assert!(out.replayed > 0);
+        assert_eq!(out.dropped, 0, "eager flush loses nothing");
+        assert_eq!(out.aborted_clones, 0);
+        for (l, want) in lpns.iter().zip(&before) {
+            assert_eq!(f.locate(*l), *want, "lpn {} survives the cut", l.0);
+        }
+        assert_eq!(f.stats(), stats_before);
+        f.verify_integrity().unwrap();
+        let js = f.journal_stats().unwrap();
+        assert_eq!(js.power_losses, 1);
+        assert_eq!(js.replayed, out.replayed);
+    }
+
+    #[test]
+    fn power_loss_drops_unflushed_tail() {
+        let mut f = ftl();
+        f.enable_journal(JournalConfig {
+            flush_every: 1_000_000, // nothing ever group-commits
+            checkpoint_every: 1_000_000,
+        });
+        let lpn = LogicalPage(123);
+        let home = f.locate(lpn);
+        f.write_alloc(lpn, None).unwrap();
+        assert_eq!(f.journal_unflushed(), 1);
+        let out = f.power_loss().unwrap();
+        assert_eq!(out.dropped, 1);
+        assert_eq!(out.replayed, 0);
+        assert_eq!(f.locate(lpn), home, "un-flushed write rewound");
+        assert_eq!(f.stats().host_writes, 0, "stats rewound with the state");
+        f.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn dangling_prepared_clone_rolled_back_on_recovery() {
+        let mut f = ftl();
+        f.enable_journal(eager_journal());
+        let lpn = LogicalPage(5);
+        let old = f.locate(lpn);
+        let dst = ClusterId {
+            switch: old.cluster.switch,
+            index: (old.cluster.index + 1) % f.shape().topology.clusters_per_switch,
+        };
+        let clone = f.migrate_prepare(lpn, dst, 0).unwrap();
+        // Power cut lands between prepare and commit.
+        let out = f.power_loss().unwrap();
+        assert_eq!(out.aborted_clones, 1);
+        assert_eq!(f.locate(lpn), old, "readers never saw the clone");
+        assert_ne!(f.locate(lpn), clone);
+        f.verify_integrity()
+            .expect("recovery scan aborts mid-flight clones");
+    }
+
+    #[test]
+    fn checkpoint_cadence_truncates_journal() {
+        let mut f = ftl();
+        f.enable_journal(JournalConfig {
+            flush_every: 1,
+            checkpoint_every: 8,
+        });
+        for i in 0..50 {
+            f.write_alloc(LogicalPage(i), None).unwrap();
+        }
+        let js = f.journal_stats().unwrap();
+        assert!(js.checkpoints >= 5, "checkpoints: {}", js.checkpoints);
+        let before: Vec<PhysLoc> = (0..50).map(|i| f.locate(LogicalPage(i))).collect();
+        let out = f.power_loss().unwrap();
+        assert!(
+            out.replayed < 50,
+            "checkpoints bound the replay: {}",
+            out.replayed
+        );
+        for (i, want) in before.iter().enumerate() {
+            assert_eq!(f.locate(LogicalPage(i as u64)), *want);
+        }
+        f.verify_integrity().unwrap();
+    }
+
+    #[test]
+    fn recovery_survives_gc_and_quarantine_records() {
+        let mut f = ftl();
+        f.enable_journal(eager_journal());
+        let home = f.locate(LogicalPage(0));
+        let g = f.shape().flash;
+        let streams = (f.shape().packages_per_fimm * g.dies * g.planes) as u64;
+        for _ in 0..(g.pages_per_block as u64 * streams) {
+            f.write_alloc(LogicalPage(0), None).unwrap();
+        }
+        let work = f.gc_pick(home.cluster, home.fimm).expect("victim exists");
+        for lpn in work.valid.clone() {
+            f.gc_rewrite(lpn, &work).unwrap();
+        }
+        f.gc_finish(&work);
+        f.quarantine_block(f.locate(LogicalPage(0)));
+        let want = f.locate(LogicalPage(0));
+        let erases = f.stats().gc_erases;
+        f.power_loss().unwrap();
+        assert_eq!(f.locate(LogicalPage(0)), want);
+        assert_eq!(f.stats().gc_erases, erases);
+        f.verify_integrity().unwrap();
     }
 }

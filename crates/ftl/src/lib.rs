@@ -42,14 +42,16 @@ mod error;
 mod ftl_impl;
 pub mod hal;
 mod hybrid;
+mod journal;
 mod layout;
 mod map;
 mod mapcache;
 mod shape;
 
 pub use alloc::FimmAllocator;
-pub use error::{FtlError, IntegrityError};
-pub use ftl_impl::{Ftl, FtlStats, GcPolicy, GcWork};
+pub use error::{FtlError, IntegrityError, RecoveryError};
+pub use ftl_impl::{Ftl, FtlStats, GcPolicy, GcWork, RebuildUnit};
+pub use journal::{JournalConfig, JournalStats, RecoveryOutcome};
 pub use hybrid::{HybridFtl, HybridStats};
 pub use layout::StripedLayout;
 pub use map::PageMap;

@@ -110,6 +110,15 @@ impl CreditQueue {
         }
     }
 
+    /// Discards every held credit and parked waiter — a power cycle of
+    /// the owning device. The buffer's *contents* are volatile; its
+    /// lifetime statistics (watermarks, admission totals) describe
+    /// history and survive so post-mortem reports stay complete.
+    pub fn power_cycle(&mut self) {
+        self.occupied = 0;
+        self.waiters.clear();
+    }
+
     /// Removes a parked waiter (e.g. a cancelled request). Returns `true`
     /// if it was found.
     pub fn cancel_waiter(&mut self, id: u64) -> bool {

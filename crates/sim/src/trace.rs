@@ -50,6 +50,9 @@ pub enum TraceCategory {
     Fault,
     /// Garbage-collection activity.
     Gc,
+    /// Crash-recovery activity: power loss, journal checkpoints and
+    /// replay, hot-spare rebuild phases.
+    Recovery,
 }
 
 /// What to record and how much to keep.
@@ -74,6 +77,8 @@ pub struct TraceConfig {
     pub faults: bool,
     /// Record garbage-collection events.
     pub gc: bool,
+    /// Record crash-recovery events (power loss, journal, rebuild).
+    pub recovery: bool,
 }
 
 impl TraceConfig {
@@ -89,6 +94,7 @@ impl TraceConfig {
             migration: true,
             faults: true,
             gc: true,
+            recovery: true,
         }
     }
 
@@ -114,6 +120,7 @@ impl TraceConfig {
             TraceCategory::Migration => self.migration,
             TraceCategory::Fault => self.faults,
             TraceCategory::Gc => self.gc,
+            TraceCategory::Recovery => self.recovery,
         }
     }
 }
@@ -310,6 +317,37 @@ pub enum TraceEventKind {
         /// The logical page whose translation missed.
         lpn: u64,
     },
+    /// The array lost power: volatile state discarded, remount begins.
+    PowerLoss {
+        /// In-flight requests lost with the volatile queues.
+        lost_requests: u64,
+        /// Not-yet-arrived requests re-queued behind the remount.
+        requeued: u64,
+    },
+    /// The FTL journal took a checkpoint and truncated itself.
+    JournalCheckpoint {
+        /// Lifetime records appended when the checkpoint was taken.
+        records: u64,
+    },
+    /// A mount-time recovery scan replayed the journal.
+    JournalReplay {
+        /// Flushed records replayed onto the checkpoint.
+        replayed: u64,
+        /// Un-flushed records lost with the cut.
+        dropped: u64,
+    },
+    /// A hot-spare rebuild of a dead FIMM began.
+    RebuildStart {
+        /// Live pages to reconstruct onto the spare.
+        pages: u64,
+    },
+    /// A hot-spare rebuild finished; the spare is in service.
+    RebuildDone {
+        /// Pages reconstructed.
+        pages: u64,
+        /// Wall-clock rebuild duration, ns.
+        dur_ns: Nanos,
+    },
 }
 
 impl TraceEventKind {
@@ -331,6 +369,11 @@ impl TraceEventKind {
             | WriteRedirect { .. } => TraceCategory::Migration,
             FaultInjected { .. } => TraceCategory::Fault,
             GcRun { .. } => TraceCategory::Gc,
+            PowerLoss { .. }
+            | JournalCheckpoint { .. }
+            | JournalReplay { .. }
+            | RebuildStart { .. }
+            | RebuildDone { .. } => TraceCategory::Recovery,
         }
     }
 
@@ -356,6 +399,11 @@ impl TraceEventKind {
             FaultInjected { .. } => "fault_injected",
             GcRun { .. } => "gc_run",
             MapMiss { .. } => "map_miss",
+            PowerLoss { .. } => "power_loss",
+            JournalCheckpoint { .. } => "journal_checkpoint",
+            JournalReplay { .. } => "journal_replay",
+            RebuildStart { .. } => "rebuild_start",
+            RebuildDone { .. } => "rebuild_done",
         }
     }
 
@@ -367,6 +415,7 @@ impl TraceEventKind {
                 Some(*dur_ns)
             }
             Complete { latency_ns, .. } => Some(*latency_ns),
+            RebuildDone { dur_ns, .. } => Some(*dur_ns),
             _ => None,
         }
     }
@@ -446,6 +495,18 @@ impl TraceEventKind {
             WriteRedirect { target_fimm } => vec![("target_fimm", *target_fimm as u64)],
             FaultInjected { .. } => Vec::new(),
             GcRun { valid_pages } => vec![("valid_pages", *valid_pages as u64)],
+            PowerLoss {
+                lost_requests,
+                requeued,
+            } => vec![("lost_requests", *lost_requests), ("requeued", *requeued)],
+            JournalCheckpoint { records } => vec![("records", *records)],
+            JournalReplay { replayed, dropped } => {
+                vec![("replayed", *replayed), ("dropped", *dropped)]
+            }
+            RebuildStart { pages } => vec![("pages", *pages)],
+            RebuildDone { pages, dur_ns } => {
+                vec![("pages", *pages), ("dur_ns", *dur_ns)]
+            }
         }
     }
 }

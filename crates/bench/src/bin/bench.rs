@@ -6,6 +6,8 @@
 //! bench all [OPTIONS]          run every experiment
 //! bench <name>... [OPTIONS]    run a subset (see `bench list`)
 //! bench list                   print registered experiment names
+//! bench scenario list          print the scenario catalog
+//! bench scenario <name|all>    run catalog scenarios only [OPTIONS]
 //! bench perf [OPTIONS]         simulator-throughput suite (events/sec,
 //!                              wall-clock, allocations; single thread)
 //!
@@ -118,7 +120,40 @@ fn run_perf(o: &Opts) {
 }
 
 fn main() {
-    let o = parse_opts();
+    let mut o = parse_opts();
+    // `bench scenario ...` scopes the run to the catalog: `list` prints
+    // it, `all` (or no further name) selects every scenario, and bare
+    // names are resolved with the `scenario_` prefix implied.
+    if o.targets.first().map(String::as_str) == Some("scenario") {
+        o.targets.remove(0);
+        let names = experiments::scenario::NAMES;
+        if o.targets == ["list"] {
+            for exp in experiments::scenario::catalog(Scale::quick()) {
+                println!("{:<28} {} ({} points)", exp.name, exp.title, exp.len());
+            }
+            return;
+        }
+        if o.targets.is_empty() || o.targets == ["all"] {
+            o.targets = names.iter().map(|n| n.to_string()).collect();
+        } else {
+            o.targets = o
+                .targets
+                .iter()
+                .map(|t| {
+                    let full = format!("scenario_{t}");
+                    if names.contains(&t.as_str()) {
+                        t.clone()
+                    } else if names.contains(&full.as_str()) {
+                        full
+                    } else {
+                        usage_and_exit(&format!(
+                            "unknown scenario {t:?}; run `bench scenario list`"
+                        ))
+                    }
+                })
+                .collect();
+        }
+    }
     if o.targets == ["list"] {
         for exp in experiments::all(Scale::quick()) {
             println!("{:<12} {} ({} points)", exp.name, exp.title, exp.len());

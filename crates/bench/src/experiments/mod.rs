@@ -21,6 +21,7 @@ mod fig15;
 mod fig16;
 mod ftl_compare;
 pub mod perf;
+pub mod scenario;
 mod table1;
 mod table2;
 mod timeline;
@@ -30,9 +31,11 @@ use crate::harness::{arr, num, report_json, Experiment, Runner, Scale};
 use serde_json::Value;
 use triplea_core::{Array, ArrayConfig, ManagementMode, RunReport, Trace};
 
-/// Every experiment in the suite, in artifact order.
+/// Every experiment in the suite, in artifact order: the paper
+/// reproductions first, then the scenario catalog (see
+/// [`scenario::NAMES`]).
 pub fn all(scale: Scale) -> Vec<Experiment> {
-    vec![
+    let mut suite = vec![
         fig01::spec(scale),
         fig09::spec(scale),
         fig10::spec(scale),
@@ -51,7 +54,9 @@ pub fn all(scale: Scale) -> Vec<Experiment> {
         faults::spec(scale),
         failure_storm::spec(scale),
         timeline::spec(scale),
-    ]
+    ];
+    suite.extend(scenario::catalog(scale));
+    suite
 }
 
 /// Looks up one experiment by its artifact name.

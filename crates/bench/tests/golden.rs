@@ -85,6 +85,55 @@ fn suite_matches_golden_snapshots_at_any_thread_count() {
     assert!(failures.is_empty(), "{}", failures.join("\n"));
 }
 
+/// Differential determinism for the scenario catalog specifically: each
+/// catalog scenario, run alone at 1 thread in spec order and at 8
+/// threads with a scrambled start order, must produce byte-identical
+/// artifacts that also match the checked-in golden snapshot. This is
+/// the per-scenario version of the suite-wide test above — it fails
+/// with the scenario's name, and it keeps holding even if a scenario is
+/// later dropped from `experiments::all`.
+#[test]
+fn every_catalog_scenario_is_thread_count_invariant_and_golden() {
+    let catalog = experiments::scenario::catalog(Scale::quick());
+    assert_eq!(
+        catalog.iter().map(|e| e.name).collect::<Vec<_>>(),
+        experiments::scenario::NAMES,
+        "catalog order must match the published NAMES list"
+    );
+    for exp in &catalog {
+        let serial = Runner::new()
+            .threads(1)
+            .run(exp, Scale::quick())
+            .to_json();
+        for scramble in [0xBEEFu64, 0x5CE_A210] {
+            let parallel = Runner::new()
+                .threads(8)
+                .order(ExecOrder::Scrambled(scramble))
+                .run(exp, Scale::quick())
+                .to_json();
+            assert_eq!(
+                serial, parallel,
+                "{}: 1-thread vs 8-thread (scramble {scramble:#x}) artifact drift",
+                exp.name
+            );
+        }
+        if bless_requested() {
+            continue; // the suite-wide test owns (re)writing snapshots
+        }
+        let path = golden_dir().join(format!("{}.json", exp.name));
+        let expected = fs::read_to_string(&path).unwrap_or_else(|_| {
+            panic!(
+                "missing golden snapshot {}; run TRIPLEA_BLESS=1 cargo test -p \
+                 triplea-bench --test golden to create it",
+                path.display()
+            )
+        });
+        if let Err(msg) = compare_snapshot(exp.name, &expected, &serial) {
+            panic!("{msg}");
+        }
+    }
+}
+
 /// A deliberately perturbed configuration must fail the snapshot
 /// comparison with a readable diff naming the first divergent line.
 #[test]

@@ -233,7 +233,47 @@ impl FaultConfig {
         self.fimm_events[slot] = Some(ev);
         self
     }
+
+    /// Adds a scheduled FIMM fault in the first free slot, or reports
+    /// [`FaultScheduleFull`] when all [`MAX_FIMM_FAULT_EVENTS`] slots
+    /// are taken — the non-panicking hook scenario drivers use when a
+    /// generated failure storm may exceed the schedule's capacity.
+    pub fn try_with_fimm_event(mut self, ev: FimmFaultEvent) -> Result<Self, FaultScheduleFull> {
+        match self.fimm_events.iter().position(|e| e.is_none()) {
+            Some(slot) => {
+                self.fimm_events[slot] = Some(ev);
+                Ok(self)
+            }
+            None => Err(FaultScheduleFull { dropped: ev }),
+        }
+    }
+
+    /// Number of FIMM fault-event slots still free.
+    pub fn free_fimm_event_slots(&self) -> usize {
+        self.fimm_events.iter().filter(|e| e.is_none()).count()
+    }
 }
+
+/// Error from [`FaultConfig::try_with_fimm_event`]: every one of the
+/// [`MAX_FIMM_FAULT_EVENTS`] schedule slots is already occupied.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultScheduleFull {
+    /// The event that could not be scheduled.
+    pub dropped: FimmFaultEvent,
+}
+
+impl std::fmt::Display for FaultScheduleFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "FIMM fault schedule full ({MAX_FIMM_FAULT_EVENTS} slots): dropped event at {} ns \
+             for cluster {} fimm {}",
+            self.dropped.at_ns, self.dropped.cluster, self.dropped.fimm
+        )
+    }
+}
+
+impl std::error::Error for FaultScheduleFull {}
 
 /// A validation failure for an [`ArrayConfig`] under construction.
 ///
@@ -746,6 +786,26 @@ mod tests {
         for _ in 0..=MAX_FIMM_FAULT_EVENTS {
             fc = fc.with_fimm_event(ev);
         }
+    }
+
+    #[test]
+    fn try_with_fimm_event_reports_full_schedule_instead_of_panicking() {
+        let ev = FimmFaultEvent {
+            cluster: 1,
+            fimm: 0,
+            at_ns: 1_000,
+            kind: FimmFaultKind::Dead,
+        };
+        let mut fc = FaultConfig::default();
+        for i in 0..MAX_FIMM_FAULT_EVENTS {
+            assert_eq!(fc.free_fimm_event_slots(), MAX_FIMM_FAULT_EVENTS - i);
+            fc = fc.try_with_fimm_event(ev).unwrap();
+        }
+        assert_eq!(fc.free_fimm_event_slots(), 0);
+        let err = fc.try_with_fimm_event(ev).unwrap_err();
+        assert_eq!(err.dropped, ev);
+        assert!(err.to_string().contains("schedule full"), "{err}");
+        assert!(fc.fimm_events.iter().all(|e| e.is_some()));
     }
 
     #[test]

@@ -52,8 +52,8 @@ mod simulation;
 pub use array::{Array, VerifiedRun};
 pub use autonomic::{AutonomicState, AutonomicStats};
 pub use config::{
-    ArrayConfig, ArrayConfigBuilder, AutonomicParams, ConfigError, FaultConfig, FimmFaultEvent,
-    LaggardStrategy, ManagementMode, PowerLossEvent, MAX_FIMM_FAULT_EVENTS,
+    ArrayConfig, ArrayConfigBuilder, AutonomicParams, ConfigError, FaultConfig, FaultScheduleFull,
+    FimmFaultEvent, LaggardStrategy, ManagementMode, PowerLossEvent, MAX_FIMM_FAULT_EVENTS,
 };
 pub use metrics::{FaultStats, RecoveryStats, RunReport};
 pub use request::{Breakdown, IoOp, Trace, TraceRequest};

@@ -2,7 +2,8 @@
 //!
 //! The paper replays block traces from SNIA IOTTA and UMass; this module
 //! is the ingestion point for replaying *real* traces through the array
-//! once you have them. The format is one record per line:
+//! once you have them (see [`crate::msr`] for the MSR-Cambridge/SNIA
+//! block-trace format). The native format is one record per line:
 //!
 //! ```text
 //! # comment lines and an optional header are ignored
@@ -12,6 +13,10 @@
 //! ```
 //!
 //! `op` accepts `R`/`W` (case-insensitive) or `read`/`write`.
+//!
+//! Malformed input never panics: truncated lines, unknown ops, and
+//! out-of-range addresses all come back as typed [`CsvError`] variants
+//! carrying the offending line number.
 
 use std::io::{BufRead, BufReader, Read, Write};
 
@@ -32,6 +37,38 @@ pub enum CsvError {
         /// What went wrong.
         message: String,
     },
+    /// A record has too few (truncated mid-line) or too many fields.
+    Truncated {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// Fields the format requires.
+        expected: usize,
+        /// Fields actually present.
+        got: usize,
+    },
+    /// A numeric field falls outside its permitted range (zero-page
+    /// request, address past the end of the LPN space, or an
+    /// offset+size that would overflow the address arithmetic).
+    OutOfRange {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// Which field violated its range.
+        field: &'static str,
+        /// The offending value.
+        value: u64,
+        /// Exclusive upper bound the value must stay under.
+        limit: u64,
+    },
+    /// A timestamp went backwards in a format whose records must be
+    /// time-sorted (the MSR/SNIA block-trace formats).
+    NonMonotonic {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// The regressing timestamp.
+        at: u64,
+        /// The preceding record's timestamp.
+        prev: u64,
+    },
 }
 
 impl std::fmt::Display for CsvError {
@@ -41,6 +78,28 @@ impl std::fmt::Display for CsvError {
             CsvError::Parse { line, message } => {
                 write!(f, "trace parse error at line {line}: {message}")
             }
+            CsvError::Truncated {
+                line,
+                expected,
+                got,
+            } => write!(
+                f,
+                "trace parse error at line {line}: expected {expected} fields, got {got}"
+            ),
+            CsvError::OutOfRange {
+                line,
+                field,
+                value,
+                limit,
+            } => write!(
+                f,
+                "trace parse error at line {line}: {field} {value} out of range (limit {limit})"
+            ),
+            CsvError::NonMonotonic { line, at, prev } => write!(
+                f,
+                "trace parse error at line {line}: timestamp {at} precedes {prev} \
+                 (records must be time-sorted)"
+            ),
         }
     }
 }
@@ -49,7 +108,7 @@ impl std::error::Error for CsvError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CsvError::Io(e) => Some(e),
-            CsvError::Parse { .. } => None,
+            _ => None,
         }
     }
 }
@@ -60,7 +119,21 @@ impl From<std::io::Error> for CsvError {
     }
 }
 
-fn parse_op(s: &str, line: usize) -> Result<IoOp, CsvError> {
+impl CsvError {
+    /// The 1-based line number the error anchors to (`None` for I/O
+    /// failures).
+    pub fn line(&self) -> Option<usize> {
+        match self {
+            CsvError::Io(_) => None,
+            CsvError::Parse { line, .. }
+            | CsvError::Truncated { line, .. }
+            | CsvError::OutOfRange { line, .. }
+            | CsvError::NonMonotonic { line, .. } => Some(*line),
+        }
+    }
+}
+
+pub(crate) fn parse_op(s: &str, line: usize) -> Result<IoOp, CsvError> {
     match s.trim().to_ascii_lowercase().as_str() {
         "r" | "read" => Ok(IoOp::Read),
         "w" | "write" => Ok(IoOp::Write),
@@ -71,7 +144,7 @@ fn parse_op(s: &str, line: usize) -> Result<IoOp, CsvError> {
     }
 }
 
-fn parse_u64(s: &str, what: &str, line: usize) -> Result<u64, CsvError> {
+pub(crate) fn parse_u64(s: &str, what: &str, line: usize) -> Result<u64, CsvError> {
     s.trim().parse().map_err(|_| CsvError::Parse {
         line,
         message: format!("invalid {what}: {s:?}"),
@@ -82,9 +155,14 @@ fn parse_u64(s: &str, what: &str, line: usize) -> Result<u64, CsvError> {
 /// [`Trace::new`] guarantees); blank lines, `#` comments, and a
 /// `time_ns,...` header are skipped.
 ///
+/// Addresses are only checked for arithmetic sanity (`lpn + pages` must
+/// not overflow); use [`parse_trace_bounded`] to additionally reject
+/// records that fall outside a concrete array's LPN space.
+///
 /// # Errors
 ///
-/// [`CsvError::Io`] for read failures, [`CsvError::Parse`] (with the
+/// [`CsvError::Io`] for read failures; [`CsvError::Truncated`],
+/// [`CsvError::OutOfRange`], or [`CsvError::Parse`] (each with the
 /// offending line number) for malformed records.
 ///
 /// # Example
@@ -98,7 +176,34 @@ fn parse_u64(s: &str, what: &str, line: usize) -> Result<u64, CsvError> {
 /// # Ok::<(), triplea_workloads::csv::CsvError>(())
 /// ```
 pub fn parse_trace<R: Read>(reader: R) -> Result<Trace, CsvError> {
+    parse_trace_bounded(reader, u64::MAX)
+}
+
+/// [`parse_trace`] against a concrete LPN space: any record whose pages
+/// extend past `lpn_limit` is rejected with [`CsvError::OutOfRange`]
+/// instead of sailing through to panic (or silently alias) inside the
+/// simulator.
+///
+/// # Errors
+///
+/// Everything [`parse_trace`] returns, plus [`CsvError::OutOfRange`]
+/// for records past `lpn_limit`.
+///
+/// # Example
+///
+/// ```
+/// use triplea_workloads::csv::{parse_trace_bounded, CsvError};
+///
+/// let text = "0,R,1000,8\n";
+/// assert!(parse_trace_bounded(text.as_bytes(), 2_048).is_ok());
+/// assert!(matches!(
+///     parse_trace_bounded(text.as_bytes(), 1_004),
+///     Err(CsvError::OutOfRange { line: 1, .. })
+/// ));
+/// ```
+pub fn parse_trace_bounded<R: Read>(reader: R, lpn_limit: u64) -> Result<Trace, CsvError> {
     let mut out = Vec::new();
+    let mut seen_record = false;
     for (idx, line) in BufReader::new(reader).lines().enumerate() {
         let lineno = idx + 1;
         let line = line?;
@@ -106,14 +211,17 @@ pub fn parse_trace<R: Read>(reader: R) -> Result<Trace, CsvError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        if idx == 0 && line.to_ascii_lowercase().starts_with("time") {
-            continue; // header
+        // A header may follow leading comments/blank lines, not just sit
+        // on line 1.
+        if !seen_record && line.to_ascii_lowercase().starts_with("time") {
+            continue;
         }
         let fields: Vec<&str> = line.split(',').collect();
         if fields.len() != 4 {
-            return Err(CsvError::Parse {
+            return Err(CsvError::Truncated {
                 line: lineno,
-                message: format!("expected 4 fields, got {}", fields.len()),
+                expected: 4,
+                got: fields.len(),
             });
         }
         let at = parse_u64(fields[0], "time_ns", lineno)?;
@@ -121,11 +229,27 @@ pub fn parse_trace<R: Read>(reader: R) -> Result<Trace, CsvError> {
         let lpn = parse_u64(fields[2], "lpn", lineno)?;
         let pages = parse_u64(fields[3], "pages", lineno)?;
         if pages == 0 || pages > u32::MAX as u64 {
-            return Err(CsvError::Parse {
+            return Err(CsvError::OutOfRange {
                 line: lineno,
-                message: format!("pages out of range: {pages}"),
+                field: "pages",
+                value: pages,
+                limit: u32::MAX as u64,
             });
         }
+        // `lpn + pages` must stay representable *and* inside the LPN
+        // space: downstream address arithmetic assumes it.
+        match lpn.checked_add(pages) {
+            Some(end) if end <= lpn_limit => {}
+            _ => {
+                return Err(CsvError::OutOfRange {
+                    line: lineno,
+                    field: "lpn",
+                    value: lpn,
+                    limit: lpn_limit,
+                })
+            }
+        }
+        seen_record = true;
         out.push(TraceRequest {
             at: SimTime::from_nanos(at),
             op,
@@ -183,6 +307,13 @@ mod tests {
     }
 
     #[test]
+    fn header_after_leading_comments_is_still_a_header() {
+        let text = "# exported trace\n\ntime_ns,op,lpn,pages\n0,R,1,1\n";
+        let t = parse_trace(text.as_bytes()).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
     fn sorts_by_time() {
         let text = "900,R,1,1\n100,R,2,1\n";
         let t = parse_trace(text.as_bytes()).unwrap();
@@ -193,8 +324,11 @@ mod tests {
     fn reports_line_numbers_on_errors() {
         let text = "0,R,1,1\nnot,a,valid\n";
         match parse_trace(text.as_bytes()) {
-            Err(CsvError::Parse { line, .. }) => assert_eq!(line, 2),
-            other => panic!("expected parse error, got {other:?}"),
+            Err(e @ CsvError::Truncated { line, .. }) => {
+                assert_eq!(line, 2);
+                assert_eq!(e.line(), Some(2));
+            }
+            other => panic!("expected truncation error, got {other:?}"),
         }
         let text = "0,X,1,1\n";
         assert!(matches!(
@@ -202,7 +336,70 @@ mod tests {
             Err(CsvError::Parse { line: 1, .. })
         ));
         let text = "0,R,1,0\n";
-        assert!(parse_trace(text.as_bytes()).is_err(), "zero pages rejected");
+        assert!(matches!(
+            parse_trace(text.as_bytes()),
+            Err(CsvError::OutOfRange {
+                line: 1,
+                field: "pages",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn truncated_and_overlong_lines_are_typed() {
+        for (text, got) in [("0,R,1\n", 3), ("0,R,1,1,extra\n", 5), ("0\n", 1)] {
+            match parse_trace(text.as_bytes()) {
+                Err(CsvError::Truncated {
+                    line: 1,
+                    expected: 4,
+                    got: g,
+                }) => assert_eq!(g, got, "{text:?}"),
+                other => panic!("{text:?}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn address_overflow_is_an_error_not_a_panic() {
+        // lpn + pages would overflow u64 — the latent panic this parser
+        // used to forward into debug-mode address arithmetic downstream.
+        let text = format!("0,R,{},16\n", u64::MAX - 4);
+        assert!(matches!(
+            parse_trace(text.as_bytes()),
+            Err(CsvError::OutOfRange {
+                line: 1,
+                field: "lpn",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn bounded_parse_rejects_records_past_the_lpn_space() {
+        let cfg = ArrayConfig::small_test();
+        let total = cfg.shape.total_pages();
+        let inside = format!("0,R,{},1\n", total - 1);
+        assert_eq!(
+            parse_trace_bounded(inside.as_bytes(), total).unwrap().len(),
+            1
+        );
+        let outside = format!("0,R,{total},1\n");
+        match parse_trace_bounded(outside.as_bytes(), total) {
+            Err(CsvError::OutOfRange {
+                field: "lpn",
+                value,
+                limit,
+                ..
+            }) => {
+                assert_eq!(value, total);
+                assert_eq!(limit, total);
+            }
+            other => panic!("expected OutOfRange, got {other:?}"),
+        }
+        // Straddling the boundary is just as dead.
+        let straddle = format!("0,W,{},8\n", total - 4);
+        assert!(parse_trace_bounded(straddle.as_bytes(), total).is_err());
     }
 
     #[test]
@@ -222,5 +419,25 @@ mod tests {
             message: "boom".into(),
         };
         assert!(e.to_string().contains("line 7"));
+        let e = CsvError::Truncated {
+            line: 3,
+            expected: 4,
+            got: 2,
+        };
+        assert!(e.to_string().contains("line 3"), "{e}");
+        let e = CsvError::OutOfRange {
+            line: 9,
+            field: "lpn",
+            value: 100,
+            limit: 50,
+        };
+        assert!(e.to_string().contains("lpn 100"), "{e}");
+        let e = CsvError::NonMonotonic {
+            line: 4,
+            at: 10,
+            prev: 20,
+        };
+        assert!(e.to_string().contains("precedes"), "{e}");
+        assert_eq!(e.line(), Some(4));
     }
 }

@@ -162,46 +162,64 @@ pub(crate) fn hot_cluster_ids(
     }
 }
 
-pub(crate) fn synthesize(cfg: &ArrayConfig, seed: u64, spec: &SynthSpec) -> Trace {
-    let layout = StripedLayout::new(cfg.shape);
+/// One homogeneous stretch of traffic, as consumed by [`emit_phase`] —
+/// the shared inner loop behind both the stationary [`synthesize`] path
+/// and the multi-phase [`crate::ScenarioTrace`] shapes.
+pub(crate) struct PhaseParams<'a> {
+    pub read_ratio: f64,
+    pub read_randomness: f64,
+    pub write_randomness: f64,
+    pub hot: &'a [ClusterId],
+    pub cold: &'a [ClusterId],
+    pub hot_io_ratio: f64,
+    pub requests: usize,
+    pub gap_ns: u64,
+    pub pages: u32,
+    pub hot_region_pages: u64,
+    pub zipf_theta: f64,
+    pub burst: Option<crate::dist::BurstShape>,
+    /// Simulated time the phase starts at (arrivals are relative to it).
+    pub base_ns: u64,
+}
+
+/// Emits one phase's requests into `out`, advancing `rng` and the
+/// per-cluster sequential `cursors` (which persist across phases so
+/// sequential streams keep running through shape changes).
+pub(crate) fn emit_phase(
+    cfg: &ArrayConfig,
+    layout: &StripedLayout,
+    rng: &mut SplitMix64,
+    cursors: &mut [u64],
+    out: &mut Vec<TraceRequest>,
+    p: &PhaseParams<'_>,
+) {
     let topo = cfg.shape.topology;
-    let mut rng = SplitMix64::new(seed ^ 0xA11F_1A5F);
-
-    let hot = hot_cluster_ids(cfg, spec.hot_clusters, spec.placement);
-    let cold: Vec<ClusterId> = topo.iter_clusters().filter(|c| !hot.contains(c)).collect();
-
     let per_cluster = cfg.shape.pages_per_cluster();
-    let hot_region = spec
-        .hot_region_pages
-        .max(spec.pages as u64)
-        .min(per_cluster);
-    let zipf = (spec.zipf_theta > 0.0)
-        .then(|| crate::dist::Zipfian::new(hot_region / spec.pages as u64, spec.zipf_theta));
-    let mut cursors = vec![0u64; topo.total_clusters() as usize];
-
-    let mut out = Vec::with_capacity(spec.requests);
-    for i in 0..spec.requests {
-        let is_read = rng.chance(spec.read_ratio);
-        let go_hot = !hot.is_empty() && rng.chance(spec.hot_io_ratio);
-        let cluster = if go_hot || cold.is_empty() {
-            hot[rng.next_below(hot.len() as u64) as usize]
+    let hot_region = p.hot_region_pages.max(p.pages as u64).min(per_cluster);
+    let zipf = (p.zipf_theta > 0.0)
+        .then(|| crate::dist::Zipfian::new(hot_region / p.pages as u64, p.zipf_theta));
+    for i in 0..p.requests {
+        let is_read = rng.chance(p.read_ratio);
+        let go_hot = !p.hot.is_empty() && rng.chance(p.hot_io_ratio);
+        let cluster = if go_hot || p.cold.is_empty() {
+            p.hot[rng.next_below(p.hot.len() as u64) as usize]
         } else {
-            cold[rng.next_below(cold.len() as u64) as usize]
+            p.cold[rng.next_below(p.cold.len() as u64) as usize]
         };
         let base = layout.region_start(cluster).0;
         // Hot traffic concentrates in a small region (reuse); cold
         // traffic roams the whole cluster.
         let region = if go_hot { hot_region } else { per_cluster };
-        let slots = region / spec.pages as u64;
+        let slots = region / p.pages as u64;
 
         let randomness = if is_read {
-            spec.read_randomness
+            p.read_randomness
         } else {
-            spec.write_randomness
+            p.write_randomness
         };
         let slot = if rng.chance(randomness) {
             match (&zipf, go_hot) {
-                (Some(z), true) => z.sample(&mut rng).min(slots - 1),
+                (Some(z), true) => z.sample(rng).min(slots - 1),
                 _ => rng.next_below(slots),
             }
         } else {
@@ -210,17 +228,52 @@ pub(crate) fn synthesize(cfg: &ArrayConfig, seed: u64, spec: &SynthSpec) -> Trac
             cursors[g] += 1;
             s
         };
-        let at_ns = match &spec.burst {
-            Some(b) => b.arrival_ns(i as u64, spec.gap_ns),
-            None => i as u64 * spec.gap_ns,
-        };
+        let at_ns = p.base_ns
+            + match &p.burst {
+                Some(b) => b.arrival_ns(i as u64, p.gap_ns),
+                None => i as u64 * p.gap_ns,
+            };
         out.push(TraceRequest {
             at: SimTime::from_nanos(at_ns),
             op: if is_read { IoOp::Read } else { IoOp::Write },
-            lpn: LogicalPage(base + slot * spec.pages as u64),
-            pages: spec.pages,
+            lpn: LogicalPage(base + slot * p.pages as u64),
+            pages: p.pages,
         });
     }
+}
+
+pub(crate) fn synthesize(cfg: &ArrayConfig, seed: u64, spec: &SynthSpec) -> Trace {
+    let layout = StripedLayout::new(cfg.shape);
+    let topo = cfg.shape.topology;
+    let mut rng = SplitMix64::new(seed ^ 0xA11F_1A5F);
+
+    let hot = hot_cluster_ids(cfg, spec.hot_clusters, spec.placement);
+    let cold: Vec<ClusterId> = topo.iter_clusters().filter(|c| !hot.contains(c)).collect();
+    let mut cursors = vec![0u64; topo.total_clusters() as usize];
+
+    let mut out = Vec::with_capacity(spec.requests);
+    emit_phase(
+        cfg,
+        &layout,
+        &mut rng,
+        &mut cursors,
+        &mut out,
+        &PhaseParams {
+            read_ratio: spec.read_ratio,
+            read_randomness: spec.read_randomness,
+            write_randomness: spec.write_randomness,
+            hot: &hot,
+            cold: &cold,
+            hot_io_ratio: spec.hot_io_ratio,
+            requests: spec.requests,
+            gap_ns: spec.gap_ns,
+            pages: spec.pages,
+            hot_region_pages: spec.hot_region_pages,
+            zipf_theta: spec.zipf_theta,
+            burst: spec.burst,
+            base_ns: 0,
+        },
+    );
     Trace::new(out)
 }
 

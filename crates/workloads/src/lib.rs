@@ -37,10 +37,15 @@ pub mod csv;
 mod dist;
 mod generator;
 mod micro;
+pub mod msr;
 mod profile;
+mod scenario;
 
 pub use analysis::{analyze, TraceStats};
+pub use csv::CsvError;
 pub use dist::{BurstShape, Zipfian};
 pub use generator::{HotPlacement, ProfileTrace};
 pub use micro::Microbench;
+pub use msr::{MsrRecord, TraceMapper};
 pub use profile::WorkloadProfile;
+pub use scenario::{Phase, ScenarioTrace};

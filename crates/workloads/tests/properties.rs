@@ -1,0 +1,194 @@
+//! Property tests: the synthetic generators' *marginals* converge to
+//! the configured Table-1 parameters under arbitrary seeds — the
+//! statistical contract the whole reproduction rests on (the paper's
+//! mechanisms react to mix, skew, and arrival rate, so the generators
+//! must actually deliver the mix, skew, and arrival rate they claim).
+//!
+//! Each property samples seeds from the whole u64 space; the vendored
+//! proptest subset runs a deterministic case sweep, so failures
+//! reproduce without a stored regression file.
+
+use proptest::prelude::*;
+use triplea_core::{ArrayConfig, IoOp};
+use triplea_workloads::msr::{parse_msr, to_msr_csv, write_msr, TraceMapper};
+use triplea_workloads::{analyze, Microbench, ProfileTrace, ScenarioTrace, WorkloadProfile};
+
+/// The paper's 4×16 baseline — Table 1's hot-cluster counts are defined
+/// against this shape, so convergence must be measured on it.
+fn baseline() -> ArrayConfig {
+    ArrayConfig::paper_baseline()
+}
+
+/// Profiles whose per-hot-cluster share clears the hot-cluster census
+/// threshold (5 % on the 4×16 array) with margin; l-eigen's 11 hot
+/// clusters sit *below* the census line by design (see `analysis.rs`),
+/// so it cannot be used to test census convergence.
+fn census_visible() -> Vec<WorkloadProfile> {
+    WorkloadProfile::table1()
+        .iter()
+        .filter(|p| p.hot_clusters > 0 && p.hot_io_ratio / p.hot_clusters as f64 >= 0.065)
+        .copied()
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Read/write mix: the measured read ratio of a synthesized trace
+    /// tracks the profile's configured ratio for every profile and any
+    /// seed (5σ band for n = 6000 Bernoulli draws).
+    #[test]
+    fn read_ratio_converges_to_table1(seed in 0u64..u64::MAX, pick in 0usize..13) {
+        let cfg = baseline();
+        let p = WorkloadProfile::table1()[pick];
+        let trace = ProfileTrace::new(p).requests(6_000).build(&cfg, seed);
+        let stats = analyze(&trace, &cfg.shape);
+        prop_assert!(
+            (stats.read_ratio - p.read_ratio).abs() < 0.033,
+            "{}: measured {} vs configured {} (seed {seed})",
+            p.name, stats.read_ratio, p.read_ratio
+        );
+    }
+
+    /// Address skew: the hot-cluster census recovers both the number of
+    /// hot clusters and the fraction of I/O they carry, for every
+    /// census-visible profile and any seed.
+    #[test]
+    fn hot_skew_converges_to_table1(seed in 0u64..u64::MAX, pick in 0usize..10) {
+        let profiles = census_visible();
+        let p = profiles[pick % profiles.len()];
+        let cfg = baseline();
+        let trace = ProfileTrace::new(p).requests(6_000).build(&cfg, seed);
+        let stats = analyze(&trace, &cfg.shape);
+        prop_assert_eq!(
+            stats.hot_clusters, p.hot_clusters as usize,
+            "{}: census found {} hot clusters, Table 1 says {} (seed {})",
+            p.name, stats.hot_clusters, p.hot_clusters, seed
+        );
+        prop_assert!(
+            (stats.hot_io_ratio - p.hot_io_ratio).abs() < 0.04,
+            "{}: measured hot share {} vs configured {} (seed {seed})",
+            p.name, stats.hot_io_ratio, p.hot_io_ratio
+        );
+    }
+
+    /// Arrival rate: with a configured inter-arrival gap the offered
+    /// rate is exact — the last arrival of an n-request trace lands at
+    /// (n-1)·gap for any seed and gap.
+    #[test]
+    fn arrival_rate_is_exactly_the_configured_gap(
+        seed in 0u64..u64::MAX,
+        gap_ns in 100u64..5_000,
+        requests in 500usize..3_000,
+    ) {
+        let cfg = baseline();
+        let trace = ProfileTrace::new(WorkloadProfile::table1()[0])
+            .requests(requests)
+            .gap_ns(gap_ns)
+            .build(&cfg, seed);
+        prop_assert_eq!(trace.len(), requests);
+        let last = trace.requests().last().unwrap().at.as_nanos();
+        prop_assert_eq!(last, (requests as u64 - 1) * gap_ns);
+    }
+
+    /// Randomness marginal at the boundary: a fully random read
+    /// micro-benchmark measures as (almost) fully random, and its mix
+    /// is pure reads — for any seed.
+    #[test]
+    fn random_read_microbench_is_random_reads(seed in 0u64..u64::MAX) {
+        let cfg = baseline();
+        let trace = Microbench::read().hot_clusters(4).requests(4_000).build(&cfg, seed);
+        let stats = analyze(&trace, &cfg.shape);
+        prop_assert_eq!(stats.read_ratio, 1.0);
+        prop_assert!(stats.read_randomness > 0.9, "measured {}", stats.read_randomness);
+        prop_assert!(trace.requests().iter().all(|r| r.op == IoOp::Read));
+    }
+
+    /// Scenario shapes keep the budget and the clock: any scenario
+    /// emits exactly the requested number of requests, all arrivals in
+    /// non-decreasing order inside the declared span — for arbitrary
+    /// seeds and shape parameters.
+    #[test]
+    fn scenarios_hold_budget_and_span(
+        seed in 0u64..u64::MAX,
+        requests in 800usize..4_000,
+        knob in 1u32..5,
+    ) {
+        let cfg = baseline();
+        let p = WorkloadProfile::by_name("fin").unwrap();
+        for s in [
+            ScenarioTrace::diurnal(p, requests, 4_000, 500, knob),
+            ScenarioTrace::flash_crowd(p, requests, 2_000, 250, knob),
+            ScenarioTrace::hotspot_drift(p, requests, 1_500, knob),
+        ] {
+            let t = s.build(&cfg, seed);
+            prop_assert_eq!(t.len(), requests, "{} budget (seed {})", s.name(), seed);
+            let span = s.span_ns();
+            let mut prev = 0u64;
+            for r in t.requests() {
+                let at = r.at.as_nanos();
+                prop_assert!(at >= prev, "{}: arrivals must not regress", s.name());
+                prop_assert!(at < span, "{}: arrival {at} outside span {span}", s.name());
+                prev = at;
+            }
+        }
+    }
+
+    /// Diurnal rate contract: the peak phase's measured arrival rate
+    /// exceeds the trough's by (close to) the configured gap ratio.
+    #[test]
+    fn diurnal_rate_follows_the_day_curve(seed in 0u64..u64::MAX) {
+        let cfg = baseline();
+        let p = WorkloadProfile::by_name("fin").unwrap();
+        let s = ScenarioTrace::diurnal(p, 8_000, 6_000, 1_000, 1);
+        let t = s.build(&cfg, seed);
+        let starts = s.phase_starts_ns();
+        let rate = |from: u64, to: u64| {
+            t.requests()
+                .iter()
+                .filter(|r| r.at.as_nanos() >= from && r.at.as_nanos() < to)
+                .count() as f64
+                / (to - from) as f64
+        };
+        let trough = rate(starts[0], starts[1]);
+        let peak = rate(starts[3], starts[4]);
+        prop_assert!(peak > 4.0 * trough, "peak {peak} vs trough {trough} (seed {seed})");
+    }
+
+    /// MSR wire-format round trip is lossless for arbitrary synthetic
+    /// traces, and re-mapping the parsed records keeps every address
+    /// inside the LPN space for any stride.
+    #[test]
+    fn msr_roundtrip_and_mapping_stay_sound(
+        seed in 0u64..u64::MAX,
+        pick in 0usize..13,
+        stride in 1u64..100_000,
+    ) {
+        let cfg = baseline();
+        let p = WorkloadProfile::table1()[pick];
+        let trace = ProfileTrace::new(p).requests(1_500).build(&cfg, seed);
+        let page = cfg.shape.flash.page_size as u64;
+
+        let csv = to_msr_csv(&trace, "host", page);
+        let records = parse_msr(csv.as_bytes()).expect("serialized trace parses");
+        prop_assert_eq!(records.len(), trace.len());
+
+        let mut buf = Vec::new();
+        write_msr(&mut buf, &records).expect("in-memory write");
+        let reparsed = parse_msr(buf.as_slice()).expect("rewritten trace parses");
+        prop_assert_eq!(&records, &reparsed, "round trip must be lossless");
+
+        let mapped = TraceMapper::new(&cfg)
+            .disk_stride_pages(stride)
+            .map(&records);
+        let total = cfg.shape.total_pages();
+        prop_assert_eq!(mapped.len(), records.len());
+        for r in mapped.requests() {
+            prop_assert!(
+                r.lpn.0 + r.pages as u64 <= total,
+                "mapped request escapes the LPN space: lpn {} + {} pages > {total}",
+                r.lpn.0, r.pages
+            );
+        }
+    }
+}

@@ -225,6 +225,62 @@ fn check_power_loss_at(cut_ns: u64) {
     );
 }
 
+/// Runs a non-stationary scenario with a power cut at `cut_ns` and
+/// checks the same remount invariants as [`check_power_loss_at`] — the
+/// scenario shapes move the hot set and the arrival rate mid-run, so
+/// the journal replay happens against a layout that is already being
+/// chased by the autonomic machinery.
+fn check_scenario_power_loss(scenario: &triple_a::workloads::ScenarioTrace, cut_ns: u64) {
+    let cfg = small_with(|c| {
+        c.faults = FaultConfig::default().with_power_loss(PowerLossEvent::at(cut_ns));
+    });
+    let trace = scenario.build(&cfg, 53);
+    let run = Array::new(cfg, ManagementMode::Autonomic).run_verified(&trace);
+    assert!(
+        run.integrity.is_ok(),
+        "{}: journal replay must rebuild coherent metadata after a cut at {cut_ns}ns: {:?}",
+        scenario.name(),
+        run.integrity
+    );
+    let rec = run.report.recovery_stats();
+    assert_eq!(rec.power_losses, 1, "{}: the scheduled cut must fire", scenario.name());
+    assert_eq!(
+        run.report.completed() + rec.lost_inflight_requests,
+        trace.len() as u64,
+        "{}: every request must complete or be accounted lost",
+        scenario.name()
+    );
+}
+
+/// Power cut in the middle of a hot-spot-drift scenario: the hot set
+/// has already rotated once when the cut lands, and rotates again after
+/// the remount. Integrity must hold at every phase boundary and at
+/// mid-phase instants.
+#[test]
+fn power_loss_mid_drift_scenario_recovers() {
+    let profile = triple_a::workloads::WorkloadProfile::by_name("mds").expect("mds registered");
+    let scenario = triple_a::workloads::ScenarioTrace::hotspot_drift(profile, 2_000, 1_400, 4);
+    let starts = scenario.phase_starts_ns();
+    // Mid-phase-2 (post-first-rotation) and exactly on a rotation edge.
+    for cut_ns in [starts[1] + (starts[2] - starts[1]) / 2, starts[2]] {
+        check_scenario_power_loss(&scenario, cut_ns);
+    }
+}
+
+/// Power cut inside a flash-crowd burst: the journal is absorbing
+/// writes concentrated on a single cluster when DRAM vanishes.
+#[test]
+fn power_loss_mid_flash_crowd_burst_recovers() {
+    let profile = triple_a::workloads::WorkloadProfile::by_name("mds").expect("mds registered");
+    let scenario = triple_a::workloads::ScenarioTrace::flash_crowd(profile, 2_000, 2_800, 700, 2);
+    let starts = scenario.phase_starts_ns();
+    // Phase 1 is the first crowd burst; cut in its middle, and again in
+    // the calm stretch right after it.
+    for cut_ns in [starts[1] + (starts[2] - starts[1]) / 2, starts[2] + 1_000] {
+        check_scenario_power_loss(&scenario, cut_ns);
+    }
+}
+
 /// A cut before the first submission finds nothing volatile to lose:
 /// the array remounts into an empty journal and serves the whole trace.
 #[test]

@@ -208,13 +208,13 @@ fn bench_end_to_end(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("non_autonomic", |b| {
         b.iter(|| {
-            let r = Array::new(cfg, ManagementMode::NonAutonomic).run(&trace);
+            let r = Array::new(cfg.clone(), ManagementMode::NonAutonomic).run(&trace);
             black_box(r.completed())
         })
     });
     g.bench_function("triple_a", |b| {
         b.iter(|| {
-            let r = Array::new(cfg, ManagementMode::Autonomic).run(&trace);
+            let r = Array::new(cfg.clone(), ManagementMode::Autonomic).run(&trace);
             black_box(r.completed())
         })
     });

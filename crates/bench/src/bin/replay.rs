@@ -175,8 +175,9 @@ fn main() {
     let mut exp = Experiment::new("replay", title);
     for (label, mode) in modes {
         let trace = Arc::clone(&trace);
+        let cfg = cfg.clone();
         exp.point(label, move |_| {
-            report_json(&Array::new(cfg, mode).run(&trace))
+            report_json(&Array::new(cfg.clone(), mode).run(&trace))
         });
     }
     exp.renderer(|res| {

@@ -51,7 +51,7 @@ pub fn spec(scale: Scale) -> Experiment {
                 .expect("power-loss configuration validates");
             let trace = storm_trace(&cfg, ctx.base_seed, scale.requests, gap);
             let aaa = {
-                let run = Array::new(cfg, ManagementMode::Autonomic).run_verified(&trace);
+                let run = Array::new(cfg.clone(), ManagementMode::Autonomic).run_verified(&trace);
                 run.integrity
                     .expect("FTL integrity violated after power-loss remount");
                 let rec = run.report.recovery_stats();

@@ -17,7 +17,7 @@ pub fn spec(scale: Scale) -> Experiment {
             let cfg = bench_config();
             let profile = WorkloadProfile::by_name(name).expect("known workload");
             let trace = enterprise_trace_n(&profile, &cfg, ctx.seed, scale.requests);
-            let base = Array::new(cfg, ManagementMode::NonAutonomic).run(&trace);
+            let base = Array::new(cfg.clone(), ManagementMode::NonAutonomic).run(&trace);
             let aaa = Array::new(cfg, ManagementMode::Autonomic).run(&trace);
             obj([
                 ("workload", text(name)),

@@ -22,6 +22,7 @@ mod fig16;
 mod ftl_compare;
 pub mod perf;
 pub mod scenario;
+pub mod sla;
 mod table1;
 mod table2;
 mod timeline;
@@ -54,6 +55,7 @@ pub fn all(scale: Scale) -> Vec<Experiment> {
         faults::spec(scale),
         failure_storm::spec(scale),
         timeline::spec(scale),
+        sla::spec(scale),
     ];
     suite.extend(scenario::catalog(scale));
     suite
@@ -77,7 +79,7 @@ pub fn run_and_print(name: &str) {
 /// summaries as `("base", "aaa")` JSON values, for point builders to
 /// compose into their object.
 pub(crate) fn pair_json(cfg: ArrayConfig, trace: &Trace) -> (Value, Value) {
-    let base = Array::new(cfg, ManagementMode::NonAutonomic).run(trace);
+    let base = Array::new(cfg.clone(), ManagementMode::NonAutonomic).run(trace);
     let aaa = Array::new(cfg, ManagementMode::Autonomic).run(trace);
     (report_json(&base), report_json(&aaa))
 }

@@ -556,6 +556,17 @@ pub fn report_json(r: &triplea_core::RunReport) -> Value {
             fields.push(("recovery".to_string(), serde_json::to_value(&rec)));
         }
     }
+    // Untenanted runs likewise keep the pre-tenant artifact shape.
+    let tenants = r.tenant_stats();
+    if !tenants.is_empty() {
+        if let Value::Object(fields) = &mut v {
+            fields.push((
+                "sla_violations".to_string(),
+                uint(r.sla_violations()),
+            ));
+            fields.push(("tenants".to_string(), serde_json::to_value(&tenants.to_vec())));
+        }
+    }
     v
 }
 

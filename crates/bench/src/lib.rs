@@ -109,7 +109,7 @@ pub fn enterprise_trace_n(
 
 /// Runs one trace through both management modes.
 pub fn run_pair(cfg: ArrayConfig, trace: &Trace) -> (RunReport, RunReport) {
-    let base = Array::new(cfg, ManagementMode::NonAutonomic).run(trace);
+    let base = Array::new(cfg.clone(), ManagementMode::NonAutonomic).run(trace);
     let aaa = Array::new(cfg, ManagementMode::Autonomic).run(trace);
     (base, aaa)
 }

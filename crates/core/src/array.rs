@@ -24,6 +24,7 @@ use crate::cluster::ClusterState;
 use crate::config::{ArrayConfig, ManagementMode, PowerLossEvent};
 use crate::metrics::{FaultStats, RecoveryStats, RunReport};
 use crate::request::{Breakdown, IoOp, RequestState, Stage, Trace};
+use crate::tenant::{TenantId, TenantStats, WeightedArbiter};
 
 /// TLP framing overhead per 4 KB payload segment.
 const TLP_OVERHEAD: u64 = 24;
@@ -146,6 +147,15 @@ struct ClusterMetricIds {
     fimm_queue_depth: Vec<MetricId>,
 }
 
+/// Per-tenant metric handles, pre-interned at wiring time.
+#[derive(Clone, Debug)]
+struct TenantMetricIds {
+    read_latency: MetricId,
+    write_latency: MetricId,
+    completed: MetricId,
+    violations: MetricId,
+}
+
 /// Metric handles resolved once in [`Array::with_recorder`], so the
 /// end-of-run harvest is a sequence of indexed stores — no per-harvest
 /// name formatting, interning, or re-sorting (the registry's sorted
@@ -163,12 +173,16 @@ struct EngineMetrics {
     clusters: Vec<ClusterMetricIds>,
     /// Per-switch `(uplink.bytes, uplink.replays)` handles.
     switches: Vec<(MetricId, MetricId)>,
+    /// Per-tenant `tenant.N.*` handles; empty on untenanted arrays so
+    /// their registries — and the golden artifacts derived from them —
+    /// stay byte-identical to builds that predate the tenant model.
+    tenants: Vec<TenantMetricIds>,
 }
 
 impl EngineMetrics {
     /// Interns every instrument name the engine harvests, sized from the
     /// built topology (`fimms[g]` = FIMM count of cluster `g`).
-    fn new(fimms: &[usize], switches: usize) -> Self {
+    fn new(fimms: &[usize], switches: usize, tenants: usize) -> Self {
         let mut registry = MetricRegistry::new();
         let events = registry.intern("array.events");
         let completed = registry.intern("array.completed");
@@ -198,6 +212,14 @@ impl EngineMetrics {
                 )
             })
             .collect();
+        let tenants = (0..tenants)
+            .map(|t| TenantMetricIds {
+                read_latency: registry.intern(format!("tenant.{t}.read.latency")),
+                write_latency: registry.intern(format!("tenant.{t}.write.latency")),
+                completed: registry.intern(format!("tenant.{t}.completed")),
+                violations: registry.intern(format!("tenant.{t}.violations")),
+            })
+            .collect();
         EngineMetrics {
             registry,
             events,
@@ -208,7 +230,59 @@ impl EngineMetrics {
             write_latency,
             clusters,
             switches,
+            tenants,
         }
+    }
+}
+
+/// One tenant's completion-side accumulators.
+#[derive(Clone, Debug)]
+struct TenantAccum {
+    lat: Histogram,
+    rlat: Histogram,
+    wlat: Histogram,
+    completed: u64,
+    reads: u64,
+    writes: u64,
+    /// Completions whose end-to-end latency exceeded the tenant's
+    /// `sla_p99_ns` target.
+    violations: u64,
+}
+
+impl TenantAccum {
+    fn new() -> Self {
+        TenantAccum {
+            lat: Histogram::new(),
+            rlat: Histogram::new(),
+            wlat: Histogram::new(),
+            completed: 0,
+            reads: 0,
+            writes: 0,
+            violations: 0,
+        }
+    }
+}
+
+/// The multi-tenant front door: NVMe-style per-tenant submission lanes
+/// feeding the root-complex credit queue through weighted-fair
+/// arbitration with per-tenant admission control. Built exactly when
+/// the config names at least one tenant; `None` leaves the legacy
+/// anonymous path byte-identical to builds without the tenant model.
+#[derive(Clone, Debug)]
+struct FrontDoor {
+    arbiter: WeightedArbiter,
+    lanes: Vec<TenantAccum>,
+}
+
+impl FrontDoor {
+    fn new(cfg: &ArrayConfig) -> Option<Self> {
+        if !cfg.tenants.is_active() {
+            return None;
+        }
+        Some(FrontDoor {
+            arbiter: WeightedArbiter::new(cfg.tenants.specs()),
+            lanes: cfg.tenants.specs().iter().map(|_| TenantAccum::new()).collect(),
+        })
     }
 }
 
@@ -220,6 +294,9 @@ struct Engine {
     switches: Vec<Switch>,
     clusters: Vec<ClusterState>,
     auto: AutonomicState,
+    /// The multi-tenant front door; `Some` exactly when the config
+    /// names tenants. `None` bypasses arbitration entirely.
+    front: Option<FrontDoor>,
     reqs: Vec<RequestState>,
     relocs: Vec<Reloc>,
     /// Destination cluster (global index) of each in-flight migration.
@@ -297,12 +374,7 @@ pub struct VerifiedRun {
 /// use triplea_ftl::LogicalPage;
 /// use triplea_sim::SimTime;
 ///
-/// let trace = Trace::new(vec![TraceRequest {
-///     at: SimTime::ZERO,
-///     op: IoOp::Read,
-///     lpn: LogicalPage(0),
-///     pages: 1,
-/// }]);
+/// let trace = Trace::new(vec![TraceRequest::new(SimTime::ZERO, IoOp::Read, LogicalPage(0), 1)]);
 /// let report = Array::new(ArrayConfig::small_test(), ManagementMode::Autonomic).run(&trace);
 /// assert_eq!(report.completed(), 1);
 /// ```
@@ -358,6 +430,7 @@ impl Array {
                 switches,
                 clusters,
                 auto: AutonomicState::new(cfg.autonomic, cfg.seed),
+                front: FrontDoor::new(&cfg),
                 reqs: Vec::new(),
                 relocs: Vec::new(),
                 mig_dst: Vec::new(),
@@ -428,7 +501,11 @@ impl Array {
             }
         }
         let fimms: Vec<usize> = e.clusters.iter().map(|cl| cl.fimms.len()).collect();
-        e.metric_ids = Some(Box::new(EngineMetrics::new(&fimms, e.switches.len())));
+        e.metric_ids = Some(Box::new(EngineMetrics::new(
+            &fimms,
+            e.switches.len(),
+            e.cfg.tenants.len(),
+        )));
         e.recorder = Some(rec);
         self
     }
@@ -488,8 +565,9 @@ impl Array {
     ///
     /// # Panics
     ///
-    /// Panics if a trace record has `pages == 0` or addresses a page
-    /// outside the array.
+    /// Panics if a trace record has `pages == 0`, addresses a page
+    /// outside the array, or (on a tenant-enabled array) names a tenant
+    /// outside the configured table.
     pub fn run(self, trace: &Trace) -> RunReport {
         self.run_verified(trace).report
     }
@@ -506,11 +584,17 @@ impl Array {
     /// Same conditions as [`Array::run`].
     pub fn run_verified(mut self, trace: &Trace) -> VerifiedRun {
         let total_pages = self.e.cfg.shape.total_pages();
+        let n_tenants = self.e.cfg.tenants.len();
         for (i, r) in trace.requests().iter().enumerate() {
             assert!(r.pages >= 1, "request {i} has zero pages");
             assert!(
                 r.lpn.0 + r.pages as u64 <= total_pages,
                 "request {i} exceeds the address space"
+            );
+            assert!(
+                n_tenants == 0 || r.tenant.index() < n_tenants,
+                "request {i} names {} but the config has {n_tenants} tenants",
+                r.tenant
             );
             self.e.reqs.push(RequestState::new(r));
             self.e.queue.push(r.at, Ev::Submit(i as u32));
@@ -721,6 +805,13 @@ impl Engine {
             }
         }
         self.rc.queue.power_cycle();
+        if let Some(front) = self.front.as_mut() {
+            // Submission-lane contents are volatile exactly like the RC
+            // FIFO; the requeued submits below re-enter through fresh
+            // arbitration. (The lane waiters were already counted lost
+            // above — they sit at `Stage::AtRc`.)
+            front.arbiter.power_cycle();
+        }
         for sw in &mut self.switches {
             for q in &mut sw.port_queues {
                 q.power_cycle();
@@ -900,9 +991,42 @@ impl Engine {
                 pages: rs.pages,
             }
         });
-        match self.rc.queue.admit(r as u64) {
-            Admission::Admitted => self.queue.push(now, Ev::RcGranted(r)),
-            Admission::Queued => {} // woken by on_complete's release
+        if self.front.is_some() {
+            // Tenant mode: park the request on its owner's submission
+            // lane; the weighted-fair arbiter decides who occupies the
+            // next free root-complex credit.
+            let t = self.reqs[r as usize].tenant;
+            self.front.as_mut().expect("checked above").arbiter.enqueue(t, r);
+            self.pump_tenants(now);
+        } else {
+            match self.rc.queue.admit(r as u64) {
+                Admission::Admitted => self.queue.push(now, Ev::RcGranted(r)),
+                Admission::Queued => {} // woken by on_complete's release
+            }
+        }
+    }
+
+    /// Drains the weighted-fair arbiter into the root-complex credit
+    /// queue: while a credit is free and some lane is eligible (waiting
+    /// work, in-flight count below its `qd_limit`), admit that lane's
+    /// head request. In tenant mode this is the *only* path into the RC
+    /// queue and it never overfills it, so the queue's own FIFO stays
+    /// empty — scheduling policy lives entirely in the
+    /// [`WeightedArbiter`].
+    fn pump_tenants(&mut self, now: SimTime) {
+        let Some(front) = self.front.as_mut() else {
+            return;
+        };
+        while !self.rc.queue.is_full() {
+            let Some((_t, r)) = front.arbiter.grant() else {
+                break;
+            };
+            let admitted = self.rc.queue.admit(r as u64);
+            debug_assert!(
+                matches!(admitted, Admission::Admitted),
+                "pump only admits below capacity"
+            );
+            self.queue.push(now, Ev::RcGranted(r));
         }
     }
 
@@ -1051,6 +1175,64 @@ impl Engine {
         }
     }
 
+    /// The autonomic detection budget and debounce cooldowns in force
+    /// for a stall attributed to `tenant`:
+    /// `(sla_ns, laggard_cooldown_ns, escalation_cooldown_ns)`.
+    ///
+    /// Untenanted arrays use the global [`AutonomicParams`](crate::AutonomicParams)
+    /// values unchanged. With tenants, the budget is the tighter of the
+    /// global SLA and the tenant's own p99 target, and the cooldowns
+    /// scale with `sla_p99_ns / sla_ns` (clamped to 1/4x..4x): a laggard
+    /// stalling an interactive tenant is re-examined — and therefore
+    /// reshaped — sooner than one that only delays batch work. A tenant
+    /// currently outside its SLA halves the cooldowns again.
+    fn tenant_autonomics(&self, tenant: TenantId) -> (Nanos, Nanos, Nanos) {
+        let p = self.auto.params();
+        let base = (p.sla_ns, p.laggard_cooldown_ns, p.escalation_cooldown_ns);
+        let Some(front) = self.front.as_ref() else {
+            return base;
+        };
+        let Some(spec) = self.cfg.tenants.get(tenant) else {
+            return base;
+        };
+        let scale = |v: Nanos| -> Nanos {
+            let scaled = (v as u128 * spec.sla_p99_ns as u128 / p.sla_ns.max(1) as u128) as Nanos;
+            scaled.clamp(v / 4, v.saturating_mul(4))
+        };
+        let acc = &front.lanes[tenant.index()];
+        let violating = acc.violations * 100 > acc.completed;
+        let div = if violating { 2 } else { 1 };
+        (
+            p.sla_ns.min(spec.sla_p99_ns),
+            scale(p.laggard_cooldown_ns) / div,
+            scale(p.escalation_cooldown_ns) / div,
+        )
+    }
+
+    /// [`Engine::tenant_autonomics`] for a queue-examination event: the
+    /// most demanding tenant among the stalled waiters (tightest
+    /// `sla_p99_ns`, ties to the lower id) sets the pace.
+    fn waiters_autonomics(&self, waiters: &[u32]) -> (Nanos, Nanos, Nanos) {
+        let p = self.auto.params();
+        let base = (p.sla_ns, p.laggard_cooldown_ns, p.escalation_cooldown_ns);
+        if self.front.is_none() {
+            return base;
+        }
+        let tightest = waiters
+            .iter()
+            .map(|&w| self.reqs[w as usize].tenant)
+            .min_by_key(|t| {
+                (
+                    self.cfg.tenants.get(*t).map_or(u64::MAX, |s| s.sla_p99_ns),
+                    t.index(),
+                )
+            });
+        match tightest {
+            Some(t) => self.tenant_autonomics(t),
+            None => base,
+        }
+    }
+
     /// Queue-examination laggard detection (paper §4.2, Figure 8): when
     /// the EP queue has no room, count stalled entries per target FIMM;
     /// the plurality holder is a laggard, and near-uniform stalling means
@@ -1080,7 +1262,7 @@ impl Engine {
         // A full queue only signals *storage* contention when the FIMMs
         // actually hold stalled work beyond the SLA budget (otherwise
         // the pile-up is a link problem, handled by Eq. 1 migration).
-        let sla = self.auto.params().sla_ns;
+        let (sla, laggard_cd, escalation_cd) = self.waiters_autonomics(&waiters);
         let backlog_of = |f: u32| {
             self.cfg
                 .eq3_backlog_ns(self.clusters[cluster as usize].fimm_read_backlog_pages(f))
@@ -1090,7 +1272,9 @@ impl Engine {
             // if every FIMM really holds stalled work, and at most once
             // per cooldown window per cluster.
             if (0..n_fimms as u32).all(|f| backlog_of(f) > sla)
-                && self.auto.register_escalation(cluster, now)
+                && self
+                    .auto
+                    .register_escalation_with_cooldown(cluster, now, escalation_cd)
             {
                 for &w in &waiters {
                     self.reqs[w as usize].escalate = true;
@@ -1118,7 +1302,10 @@ impl Engine {
         if self.clusters[cluster as usize].pending_prog_pages[laggard as usize] > 0 {
             return;
         }
-        if !self.auto.register_laggard(cluster, laggard, now) {
+        if !self
+            .auto
+            .register_laggard_with_cooldown(cluster, laggard, now, laggard_cd)
+        {
             return;
         }
         for &w in &waiters {
@@ -1201,7 +1388,11 @@ impl Engine {
             by_fimm[fimm as usize].push(loc.addr);
         }
 
-        let sla = self.auto.params().sla_ns;
+        // Eq. 3's budget and the detector debounce follow the owning
+        // tenant's contract: a read for an interactive tenant trips (and
+        // re-trips) laggard reshaping sooner than one for a batch tenant.
+        let (sla, laggard_cd, escalation_cd) =
+            self.tenant_autonomics(self.reqs[r as usize].tenant);
         let monitors =
             self.mode == ManagementMode::Autonomic && self.auto.params().laggard.monitors_latency();
 
@@ -1271,11 +1462,20 @@ impl Engine {
                         if imbalanced {
                             // One FIMM holds the stalled work: reshape
                             // its data onto the quiet siblings (§4.2).
-                            if self.auto.register_laggard(cluster, fimm as u32, now) {
+                            if self.auto.register_laggard_with_cooldown(
+                                cluster,
+                                fimm as u32,
+                                now,
+                                laggard_cd,
+                            ) {
                                 self.reqs[r as usize].laggard_fimm = Some(fimm as u32);
                             }
                         } else if self.cfg.eq3_backlog_ns(min_other) > sla
-                            && self.auto.register_escalation(cluster, now)
+                            && self.auto.register_escalation_with_cooldown(
+                                cluster,
+                                now,
+                                escalation_cd,
+                            )
                         {
                             // Every FIMM is equally backlogged: reshaping
                             // cannot help, escalate to inter-cluster
@@ -1345,7 +1545,9 @@ impl Engine {
         if let Some(f) = laggard {
             // Act only on requests that really stalled on that FIMM, and
             // only while the stall is not explained by repair programs.
-            let sla = self.auto.params().sla_ns;
+            // The reshape gate uses the owner's budget: an interactive
+            // tenant's stall clears a lower bar than a batch tenant's.
+            let (sla, _, _) = self.tenant_autonomics(self.reqs[r as usize].tenant);
             let cl = self.reqs[r as usize].cluster as usize;
             if max_die_wait > sla && self.clusters[cl].pending_prog_pages[f as usize] == 0 {
                 self.reshape_request_pages(now, r, f);
@@ -1987,9 +2189,51 @@ impl Engine {
         }
         self.completed += 1;
         self.last_complete = self.last_complete.max(now);
-        if let Some(next) = self.rc.queue.release() {
+        if self.front.is_some() {
+            self.record_tenant_complete(r, total);
+            self.pump_tenants(now);
+        } else if let Some(next) = self.rc.queue.release() {
             self.queue.push(now, Ev::RcGranted(next as u32));
         }
+    }
+
+    /// Completion-side tenant accounting: record the latency against
+    /// the owner's instruments, count an SLA violation when it exceeds
+    /// the owner's p99 target, and free the admission slot. The freed
+    /// root-complex credit is then re-granted through the arbiter
+    /// ([`Engine::pump_tenants`]), never by the queue's own FIFO —
+    /// which tenant mode keeps empty.
+    fn record_tenant_complete(&mut self, r: u32, total: Nanos) {
+        let (tenant, op) = {
+            let rs = &self.reqs[r as usize];
+            (rs.tenant, rs.op)
+        };
+        let sla = self
+            .cfg
+            .tenants
+            .get(tenant)
+            .expect("run_verified validated tenant ids")
+            .sla_p99_ns;
+        let front = self.front.as_mut().expect("tenant mode");
+        let acc = &mut front.lanes[tenant.index()];
+        acc.lat.record(total);
+        acc.completed += 1;
+        match op {
+            IoOp::Read => {
+                acc.rlat.record(total);
+                acc.reads += 1;
+            }
+            IoOp::Write => {
+                acc.wlat.record(total);
+                acc.writes += 1;
+            }
+        }
+        if total > sla {
+            acc.violations += 1;
+        }
+        front.arbiter.complete(tenant);
+        let handoff = self.rc.queue.release();
+        debug_assert!(handoff.is_none(), "tenant mode keeps the RC FIFO empty");
     }
 
     /// Harvests the recorder and the per-component instruments into a
@@ -2029,6 +2273,14 @@ impl Engine {
                 sw.uplink.down.replays() + sw.uplink.up.replays(),
             );
         }
+        if let Some(front) = &self.front {
+            for (acc, tids) in front.lanes.iter().zip(&ids.tenants) {
+                m.set_histogram(tids.read_latency, &acc.rlat);
+                m.set_histogram(tids.write_latency, &acc.wlat);
+                m.set_counter(tids.completed, acc.completed);
+                m.set_counter(tids.violations, acc.violations);
+            }
+        }
         Some(RunTrace::from_recorder(&rec.snapshot(), m))
     }
 
@@ -2063,6 +2315,30 @@ impl Engine {
                 self.faults.tlp_replays += link.down.replays() + link.up.replays();
             }
         }
+        let tenants = match &self.front {
+            Some(front) => front
+                .lanes
+                .iter()
+                .zip(self.cfg.tenants.specs())
+                .enumerate()
+                .map(|(i, (acc, spec))| TenantStats {
+                    tenant: i as u32,
+                    weight: spec.weight,
+                    sla_p99_ns: spec.sla_p99_ns,
+                    completed: acc.completed,
+                    reads: acc.reads,
+                    writes: acc.writes,
+                    violations: acc.violations,
+                    p50_ns: acc.lat.percentile(0.50),
+                    p99_ns: acc.lat.percentile(0.99),
+                    read_p99_ns: acc.rlat.percentile(0.99),
+                    write_p99_ns: acc.wlat.percentile(0.99),
+                    mean_ns: acc.lat.mean().round() as u64,
+                    max_ns: acc.lat.max(),
+                })
+                .collect(),
+            None => Vec::new(),
+        };
         RunReport {
             mode: self.mode,
             completed: self.completed,
@@ -2089,6 +2365,7 @@ impl Engine {
             wear,
             faults: self.faults,
             recovery: self.recovery,
+            tenants,
             events: self.events,
         }
     }
@@ -2106,21 +2383,11 @@ mod tests {
     use crate::request::TraceRequest;
 
     fn read_at(us: u64, lpn: u64) -> TraceRequest {
-        TraceRequest {
-            at: SimTime::from_us(us),
-            op: IoOp::Read,
-            lpn: LogicalPage(lpn),
-            pages: 1,
-        }
+        TraceRequest::new(SimTime::from_us(us), IoOp::Read, LogicalPage(lpn), 1)
     }
 
     fn write_at(us: u64, lpn: u64) -> TraceRequest {
-        TraceRequest {
-            at: SimTime::from_us(us),
-            op: IoOp::Write,
-            lpn: LogicalPage(lpn),
-            pages: 1,
-        }
+        TraceRequest::new(SimTime::from_us(us), IoOp::Write, LogicalPage(lpn), 1)
     }
 
     /// Reads that recycle a dense hot region of cluster 0 at a rate the
@@ -2129,11 +2396,13 @@ mod tests {
     /// die, so the bus (not the dies) is the bottleneck.
     fn hot_read_trace(n: u64, gap_ns: u64) -> Trace {
         (0..n)
-            .map(|i| TraceRequest {
-                at: SimTime::from_nanos(i * gap_ns),
-                op: IoOp::Read,
-                lpn: LogicalPage(i % 2_048),
-                pages: 1,
+            .map(|i| {
+                TraceRequest::new(
+                    SimTime::from_nanos(i * gap_ns),
+                    IoOp::Read,
+                    LogicalPage(i % 2_048),
+                    1,
+                )
             })
             .collect()
     }
@@ -2426,7 +2695,7 @@ mod tests {
             .map(|i| write_at(i * 20, (i % 64) * 2))
             .collect();
         cfg.opportunistic_gc = true;
-        let eager = Array::new(cfg, ManagementMode::NonAutonomic).run(&trace);
+        let eager = Array::new(cfg.clone(), ManagementMode::NonAutonomic).run(&trace);
         cfg.opportunistic_gc = false;
         let lazy = Array::new(cfg, ManagementMode::NonAutonomic).run(&trace);
         assert!(
@@ -2477,11 +2746,13 @@ mod tests {
     /// A read/write mix long enough for the power cut to land mid-burst.
     fn mixed_trace(n: u64, gap_ns: u64) -> Trace {
         (0..n)
-            .map(|i| TraceRequest {
-                at: SimTime::from_nanos(i * gap_ns),
-                op: if i % 3 == 0 { IoOp::Write } else { IoOp::Read },
-                lpn: LogicalPage(i % 1_024),
-                pages: 1,
+            .map(|i| {
+                TraceRequest::new(
+                    SimTime::from_nanos(i * gap_ns),
+                    if i % 3 == 0 { IoOp::Write } else { IoOp::Read },
+                    LogicalPage(i % 1_024),
+                    1,
+                )
             })
             .collect()
     }
@@ -2517,7 +2788,7 @@ mod tests {
         let mut cfg = ArrayConfig::small_test();
         cfg.faults = cfg.faults.with_power_loss(PowerLossEvent::at(1_200_000));
         let trace = mixed_trace(1_500, 900);
-        let a = Array::new(cfg, ManagementMode::Autonomic).run_verified(&trace);
+        let a = Array::new(cfg.clone(), ManagementMode::Autonomic).run_verified(&trace);
         let b = Array::new(cfg, ManagementMode::Autonomic).run_verified(&trace);
         assert_eq!(a.report.completed(), b.report.completed());
         assert_eq!(a.report.events_processed(), b.report.events_processed());
@@ -2539,11 +2810,13 @@ mod tests {
         // Writes seed data across the array (including the doomed
         // module), then reads ride through the death and the rebuild.
         let trace: Trace = (0..1_500)
-            .map(|i| TraceRequest {
-                at: SimTime::from_nanos(i * 1_000),
-                op: if i < 500 { IoOp::Write } else { IoOp::Read },
-                lpn: LogicalPage(i % 512),
-                pages: 1,
+            .map(|i| {
+                TraceRequest::new(
+                    SimTime::from_nanos(i * 1_000),
+                    if i < 500 { IoOp::Write } else { IoOp::Read },
+                    LogicalPage(i % 512),
+                    1,
+                )
             })
             .collect();
         let run = Array::new(cfg, ManagementMode::Autonomic).run_verified(&trace);
@@ -2572,6 +2845,151 @@ mod tests {
         assert_eq!(base.events_processed(), spared.events_processed());
         assert_eq!(base.mean_latency_us(), spared.mean_latency_us());
         assert!(!spared.recovery_stats().any());
+    }
+
+    fn tenant_cfg(specs: Vec<crate::tenant::TenantSpec>) -> ArrayConfig {
+        let mut cfg = ArrayConfig::small_test();
+        cfg.tenants = crate::tenant::TenantConfig::new(specs);
+        cfg
+    }
+
+    /// `n` requests interleaved round-robin across `t` tenants.
+    fn tenant_trace(n: u64, tenants: u32, gap_ns: u64) -> Trace {
+        (0..n)
+            .map(|i| {
+                TraceRequest::for_tenant(
+                    TenantId((i % tenants as u64) as u32),
+                    SimTime::from_nanos(i * gap_ns),
+                    IoOp::Read,
+                    LogicalPage((i * 8) % 4_096),
+                    1,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn untenanted_run_reports_no_tenants() {
+        let report = Array::new(ArrayConfig::small_test(), ManagementMode::Autonomic)
+            .run(&hot_read_trace(200, 1_000));
+        assert!(report.tenant_stats().is_empty());
+        assert_eq!(report.sla_violations(), 0);
+    }
+
+    #[test]
+    fn tenant_front_door_completes_everything_and_attributes_it() {
+        use crate::tenant::TenantSpec;
+        let cfg = tenant_cfg(vec![TenantSpec::interactive(), TenantSpec::batch()]);
+        let report = Array::new(cfg, ManagementMode::Autonomic).run(&tenant_trace(2_000, 2, 1_000));
+        assert_eq!(report.completed(), 2_000);
+        let ts = report.tenant_stats();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[0].completed, 1_000);
+        assert_eq!(ts[1].completed, 1_000);
+        assert_eq!(ts[0].reads, 1_000);
+        assert!(ts[0].p99_ns > 0 && ts[0].p99_ns >= ts[0].p50_ns);
+        assert_eq!((ts[0].tenant, ts[1].tenant), (0, 1));
+        assert_eq!(ts[0].weight, 8);
+    }
+
+    #[test]
+    fn tenant_mode_is_deterministic() {
+        use crate::tenant::TenantSpec;
+        let cfg = tenant_cfg(vec![TenantSpec::interactive(), TenantSpec::batch()]);
+        let trace = tenant_trace(3_000, 2, 700);
+        let a = Array::new(cfg.clone(), ManagementMode::Autonomic).run(&trace);
+        let b = Array::new(cfg, ManagementMode::Autonomic).run(&trace);
+        assert_eq!(a.completed(), b.completed());
+        assert_eq!(a.events_processed(), b.events_processed());
+        assert_eq!(a.tenant_stats(), b.tenant_stats());
+    }
+
+    #[test]
+    fn weighted_tenant_beats_batch_under_admission_pressure() {
+        use crate::tenant::TenantSpec;
+        // Everything submitted at t=0 through an 8-credit root complex:
+        // the weighted-fair arbiter alone decides service order, so the
+        // weight-8 tenant's requests must see materially lower latency.
+        let mut cfg = tenant_cfg(vec![
+            TenantSpec {
+                weight: 8,
+                sla_p99_ns: 200_000,
+                qd_limit: 64,
+            },
+            TenantSpec {
+                weight: 1,
+                sla_p99_ns: 5_000_000,
+                qd_limit: 64,
+            },
+        ]);
+        cfg.pcie.rc_queue = 8;
+        let trace = tenant_trace(400, 2, 0);
+        let report = Array::new(cfg, ManagementMode::NonAutonomic).run(&trace);
+        assert_eq!(report.completed(), 400);
+        let ts = report.tenant_stats();
+        assert!(
+            ts[0].mean_ns * 3 < ts[1].mean_ns * 2,
+            "weight-8 tenant {}ns !<< weight-1 tenant {}ns",
+            ts[0].mean_ns,
+            ts[1].mean_ns
+        );
+    }
+
+    #[test]
+    fn tenant_partitioning_preserves_total_completions() {
+        use crate::tenant::TenantSpec;
+        // The same request stream, split across 1 / 2 / 4 equal-weight
+        // lanes with generous queue depths, must complete identically —
+        // partitioning renames requests, it does not lose them.
+        let base = Array::new(ArrayConfig::small_test(), ManagementMode::Autonomic)
+            .run(&tenant_trace(1_500, 1, 900));
+        for t in [1u32, 2, 4] {
+            let spec = TenantSpec {
+                weight: 1,
+                sla_p99_ns: 1_000_000,
+                qd_limit: 512,
+            };
+            let cfg = tenant_cfg(vec![spec; t as usize]);
+            let report =
+                Array::new(cfg, ManagementMode::Autonomic).run(&tenant_trace(1_500, t, 900));
+            assert_eq!(report.completed(), 1_500, "{t} tenants");
+            let sum: u64 = report.tenant_stats().iter().map(|s| s.completed).sum();
+            assert_eq!(sum, base.completed(), "{t} tenants");
+        }
+    }
+
+    #[test]
+    fn tenant_power_loss_clears_lanes_and_recovers() {
+        use crate::config::PowerLossEvent;
+        use crate::tenant::TenantSpec;
+        let mut cfg = tenant_cfg(vec![TenantSpec::interactive(), TenantSpec::batch()]);
+        cfg.faults = cfg.faults.with_power_loss(PowerLossEvent::at(1_000_000));
+        let trace = tenant_trace(2_000, 2, 1_000);
+        let run = Array::new(cfg, ManagementMode::Autonomic).run_verified(&trace);
+        assert!(run.integrity.is_ok(), "{:?}", run.integrity);
+        let rec = run.report.recovery_stats();
+        assert_eq!(rec.power_losses, 1);
+        let sum: u64 = run.report.tenant_stats().iter().map(|s| s.completed).sum();
+        assert_eq!(
+            sum + rec.lost_inflight_requests,
+            2_000,
+            "every request completed on some lane or was lost at the cut"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "names tenant.5")]
+    fn out_of_range_tenant_panics_on_tenanted_array() {
+        use crate::tenant::TenantSpec;
+        let cfg = tenant_cfg(vec![TenantSpec::interactive()]);
+        let trace = Trace::new(vec![TraceRequest::for_tenant(
+            TenantId(5),
+            SimTime::ZERO,
+            IoOp::Read,
+            LogicalPage(0),
+            1,
+        )]);
+        let _ = Array::new(cfg, ManagementMode::Autonomic).run(&trace);
     }
 
     #[test]

@@ -9,7 +9,7 @@ use triplea_sim::{FxHashMap, FxHashSet};
 
 use triplea_pcie::{ClusterId, Topology};
 use triplea_sim::trace::{TraceEventKind, TracePort, TraceScope};
-use triplea_sim::{SimTime, SplitMix64};
+use triplea_sim::{Nanos, SimTime, SplitMix64};
 
 use crate::config::AutonomicParams;
 
@@ -195,9 +195,26 @@ impl AutonomicState {
     /// Debounced laggard registration: returns `true` (and counts a
     /// detection) unless the same FIMM was flagged within the cooldown.
     pub fn register_laggard(&mut self, cluster: u32, fimm: u32, now: SimTime) -> bool {
+        self.register_laggard_with_cooldown(cluster, fimm, now, self.params.laggard_cooldown_ns)
+    }
+
+    /// [`AutonomicState::register_laggard`] under an explicit debounce
+    /// window. The SLA-aware path shrinks the window when the stalled
+    /// tenant carries a tight p99 target (an interactive tenant's
+    /// laggard is re-examined sooner) and stretches it when only batch
+    /// traffic is hurt; untenanted arrays always pass the configured
+    /// `laggard_cooldown_ns`, making this identical to
+    /// [`AutonomicState::register_laggard`].
+    pub fn register_laggard_with_cooldown(
+        &mut self,
+        cluster: u32,
+        fimm: u32,
+        now: SimTime,
+        cooldown_ns: Nanos,
+    ) -> bool {
         let key = (cluster, fimm);
         if let Some(&last) = self.last_laggard.get(&key) {
-            if now.saturating_since(last) < self.params.laggard_cooldown_ns {
+            if now.saturating_since(last) < cooldown_ns {
                 return false;
             }
         }
@@ -214,8 +231,20 @@ impl AutonomicState {
     /// FIMM look briefly backlogged, so un-debounced escalation feeds on
     /// its own repair traffic.
     pub fn register_escalation(&mut self, cluster: u32, now: SimTime) -> bool {
+        self.register_escalation_with_cooldown(cluster, now, self.params.escalation_cooldown_ns)
+    }
+
+    /// [`AutonomicState::register_escalation`] under an explicit
+    /// debounce window — the SLA-aware counterpart, exactly as for
+    /// [`AutonomicState::register_laggard_with_cooldown`].
+    pub fn register_escalation_with_cooldown(
+        &mut self,
+        cluster: u32,
+        now: SimTime,
+        cooldown_ns: Nanos,
+    ) -> bool {
         if let Some(&last) = self.last_escalation.get(&cluster) {
-            if now.saturating_since(last) < self.params.escalation_cooldown_ns {
+            if now.saturating_since(last) < cooldown_ns {
                 return false;
             }
         }
@@ -314,6 +343,19 @@ mod tests {
         );
         assert!(s.register_laggard(0, 1, SimTime::from_us(400)));
         assert_eq!(s.stats.laggard_detections, 3);
+    }
+
+    #[test]
+    fn explicit_cooldowns_scale_the_debounce() {
+        let mut s = state();
+        // Default laggard cooldown is 200us; a 50us window re-arms at
+        // 70us where the default would still debounce.
+        assert!(s.register_laggard_with_cooldown(0, 1, SimTime::from_us(10), 50_000));
+        assert!(!s.register_laggard_with_cooldown(0, 1, SimTime::from_us(40), 50_000));
+        assert!(s.register_laggard_with_cooldown(0, 1, SimTime::from_us(70), 50_000));
+        assert!(s.register_escalation_with_cooldown(0, SimTime::from_us(10), 100_000));
+        assert!(!s.register_escalation_with_cooldown(0, SimTime::from_us(100), 100_000));
+        assert!(s.register_escalation_with_cooldown(0, SimTime::from_us(120), 100_000));
     }
 
     #[test]

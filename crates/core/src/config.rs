@@ -6,6 +6,8 @@ use triplea_ftl::{ArrayShape, GcPolicy};
 use triplea_pcie::{PcieFaultProfile, PcieParams, Topology};
 use triplea_sim::Nanos;
 
+use crate::tenant::{TenantConfig, TenantSpec};
+
 /// Whether the array runs the autonomic management module.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 #[derive(serde::Serialize, serde::Deserialize)]
@@ -129,7 +131,7 @@ impl Default for AutonomicParams {
 
 /// Maximum number of scheduled whole-FIMM fault events per run.
 ///
-/// Bounded (rather than a `Vec`) so [`ArrayConfig`] stays `Copy`.
+/// Bounded (rather than a `Vec`) so [`FaultConfig`] stays `Copy`.
 pub const MAX_FIMM_FAULT_EVENTS: usize = 8;
 
 /// A scheduled whole-module fault: at `at_ns`, the named FIMM dies or
@@ -329,6 +331,28 @@ pub enum ConfigError {
         /// Configured in-flight relocation budget in pages.
         max_inflight: usize,
     },
+    /// A tenant spec carries a zero weight, p99 target, or queue depth —
+    /// the tenant could never be scheduled (or never admitted).
+    BadTenantSpec {
+        /// Index of the offending tenant in the configured table.
+        index: usize,
+        /// Which field is zero (`weight`, `sla_p99_ns`, or `qd_limit`).
+        field: &'static str,
+    },
+    /// More tenants than the front door supports.
+    TooManyTenants {
+        /// Configured tenant count.
+        count: usize,
+        /// Supported maximum ([`MAX_TENANTS`]).
+        max: usize,
+    },
+    /// A workload binding names a tenant outside the configured table.
+    UnboundTenant {
+        /// The tenant id the binding named.
+        tenant: u32,
+        /// Number of tenants the configuration actually declares.
+        tenants: usize,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -370,11 +394,28 @@ impl std::fmt::Display for ConfigError {
                      in-flight relocation budget of {max_inflight} pages"
                 )
             }
+            ConfigError::BadTenantSpec { index, field } => {
+                write!(f, "tenant #{index}: `{field}` must be nonzero")
+            }
+            ConfigError::TooManyTenants { count, max } => {
+                write!(f, "{count} tenants configured; the front door supports at most {max}")
+            }
+            ConfigError::UnboundTenant { tenant, tenants } => {
+                write!(
+                    f,
+                    "workload bound to tenant.{tenant}, but the config declares \
+                     only {tenants} tenant(s)"
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for ConfigError {}
+
+/// Maximum tenants the front door supports; well above the 1000-tenant
+/// experiments, merely a guard against absurd metric/lane fan-out.
+pub const MAX_TENANTS: usize = 65_536;
 
 /// Complete configuration of one all-flash array instance.
 ///
@@ -382,7 +423,7 @@ impl std::error::Error for ConfigError {}
 /// [`ArrayConfig::small_builder`] in tests), which validates cross-field
 /// invariants and returns a typed [`ConfigError`]; writing a bare struct
 /// literal skips validation and is discouraged outside this crate.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ArrayConfig {
     /// Physical dimensions (network × FIMMs × packages × geometry).
     pub shape: ArrayShape,
@@ -425,6 +466,11 @@ pub struct ArrayConfig {
     pub collect_series: bool,
     /// Deterministic fault injection (quiet by default).
     pub faults: FaultConfig,
+    /// Multi-tenant front door: per-tenant submission lanes with
+    /// weighted-fair arbitration and admission control. Empty (default)
+    /// bypasses the front door entirely — requests flow through the
+    /// root-complex credit queue exactly as on an untenanted build.
+    pub tenants: TenantConfig,
 }
 
 impl Default for ArrayConfig {
@@ -443,6 +489,7 @@ impl Default for ArrayConfig {
             seed: 0xAAA_2014,
             collect_series: false,
             faults: FaultConfig::default(),
+            tenants: TenantConfig::none(),
         }
     }
 }
@@ -581,6 +628,26 @@ impl ArrayConfig {
                 max_inflight: self.autonomic.max_inflight_reloc_pages,
             });
         }
+        if self.tenants.len() > MAX_TENANTS {
+            return Err(ConfigError::TooManyTenants {
+                count: self.tenants.len(),
+                max: MAX_TENANTS,
+            });
+        }
+        for (index, spec) in self.tenants.specs().iter().enumerate() {
+            let field = if spec.weight == 0 {
+                Some("weight")
+            } else if spec.sla_p99_ns == 0 {
+                Some("sla_p99_ns")
+            } else if spec.qd_limit == 0 {
+                Some("qd_limit")
+            } else {
+                None
+            };
+            if let Some(field) = field {
+                return Err(ConfigError::BadTenantSpec { index, field });
+            }
+        }
         Ok(())
     }
 }
@@ -591,7 +658,7 @@ impl ArrayConfig {
 /// else goes through [`ArrayConfigBuilder::tune`], which still funnels
 /// the result through [`ArrayConfig::validate`] at
 /// [`build`](ArrayConfigBuilder::build) time.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ArrayConfigBuilder {
     cfg: ArrayConfig,
 }
@@ -677,6 +744,25 @@ impl ArrayConfigBuilder {
     /// Installs a deterministic fault-injection plan.
     pub fn faults(mut self, faults: FaultConfig) -> Self {
         self.cfg.faults = faults;
+        self
+    }
+
+    /// Configures the multi-tenant front door: tenant `i` gets the
+    /// `i`-th spec. An empty iterator keeps the untenanted default
+    /// path. Specs are validated (nonzero weight, p99 target, and
+    /// queue depth) at [`build`](ArrayConfigBuilder::build) time.
+    ///
+    /// ```
+    /// use triplea_core::{ArrayConfig, TenantSpec};
+    ///
+    /// let cfg = ArrayConfig::small_builder()
+    ///     .with_tenants([TenantSpec::interactive(), TenantSpec::batch()])
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(cfg.tenants.len(), 2);
+    /// ```
+    pub fn with_tenants(mut self, specs: impl IntoIterator<Item = TenantSpec>) -> Self {
+        self.cfg.tenants = specs.into_iter().collect();
         self
     }
 
@@ -931,6 +1017,66 @@ mod tests {
         let c = ArrayConfig::small_builder().hot_spares(2).build().unwrap();
         assert_eq!(c.hot_spares, 2);
         assert_eq!(ArrayConfig::default().hot_spares, 0);
+    }
+
+    #[test]
+    fn with_tenants_builds_and_validates() {
+        let c = ArrayConfig::small_builder()
+            .with_tenants([TenantSpec::interactive(), TenantSpec::batch()])
+            .build()
+            .unwrap();
+        assert!(c.tenants.is_active());
+        assert_eq!(c.tenants.len(), 2);
+        assert_eq!(c.tenants.specs()[0].weight, 8);
+        assert!(!ArrayConfig::small_test().tenants.is_active());
+    }
+
+    #[test]
+    fn tenant_specs_are_validated_in_order() {
+        let bad = |spec: TenantSpec, field: &'static str| {
+            let err = ArrayConfig::small_builder()
+                .with_tenants([TenantSpec::interactive(), spec])
+                .build()
+                .unwrap_err();
+            assert_eq!(err, ConfigError::BadTenantSpec { index: 1, field });
+            assert!(err.to_string().contains("tenant #1"), "{err}");
+        };
+        bad(
+            TenantSpec {
+                weight: 0,
+                ..TenantSpec::batch()
+            },
+            "weight",
+        );
+        bad(
+            TenantSpec {
+                sla_p99_ns: 0,
+                ..TenantSpec::batch()
+            },
+            "sla_p99_ns",
+        );
+        bad(
+            TenantSpec {
+                qd_limit: 0,
+                ..TenantSpec::batch()
+            },
+            "qd_limit",
+        );
+    }
+
+    #[test]
+    fn tenant_count_is_bounded() {
+        let mut c = ArrayConfig::small_test();
+        c.tenants = (0..=MAX_TENANTS).map(|_| TenantSpec::batch()).collect();
+        let err = c.validate().unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::TooManyTenants {
+                count: MAX_TENANTS + 1,
+                max: MAX_TENANTS
+            }
+        );
+        assert!(err.to_string().contains("at most"), "{err}");
     }
 
     #[test]

@@ -26,14 +26,16 @@
 //! // Hammer one cluster with reads and let Triple-A spread the load.
 //! let cfg = ArrayConfig::small_test();
 //! let trace: Trace = (0..500)
-//!     .map(|i| TraceRequest {
-//!         at: SimTime::from_us(i / 4),
-//!         op: IoOp::Read,
-//!         lpn: LogicalPage((i % 64) * 8),
-//!         pages: 1,
+//!     .map(|i| {
+//!         TraceRequest::new(
+//!             SimTime::from_us(i / 4),
+//!             IoOp::Read,
+//!             LogicalPage((i % 64) * 8),
+//!             1,
+//!         )
 //!     })
 //!     .collect();
-//! let base = Array::new(cfg, ManagementMode::NonAutonomic).run(&trace);
+//! let base = Array::new(cfg.clone(), ManagementMode::NonAutonomic).run(&trace);
 //! let aaa = Array::new(cfg, ManagementMode::Autonomic).run(&trace);
 //! assert_eq!(base.completed(), aaa.completed());
 //! ```
@@ -48,16 +50,19 @@ mod config;
 mod metrics;
 mod request;
 mod simulation;
+mod tenant;
 
 pub use array::{Array, VerifiedRun};
 pub use autonomic::{AutonomicState, AutonomicStats};
 pub use config::{
     ArrayConfig, ArrayConfigBuilder, AutonomicParams, ConfigError, FaultConfig, FaultScheduleFull,
     FimmFaultEvent, LaggardStrategy, ManagementMode, PowerLossEvent, MAX_FIMM_FAULT_EVENTS,
+    MAX_TENANTS,
 };
 pub use metrics::{FaultStats, RecoveryStats, RunReport};
 pub use request::{Breakdown, IoOp, Trace, TraceRequest};
 pub use simulation::{Simulation, SimulationBuilder};
+pub use tenant::{TenantConfig, TenantId, TenantSpec, TenantStats, WeightedArbiter};
 
 // Re-export the shape/address vocabulary users need alongside `Array`,
 // plus the substrate-level fault types `FaultConfig` is built from and

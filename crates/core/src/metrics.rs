@@ -8,6 +8,7 @@ use triplea_sim::SimTime;
 use crate::autonomic::AutonomicStats;
 use crate::config::ManagementMode;
 use crate::request::Breakdown;
+use crate::tenant::TenantStats;
 
 /// Fault-injection and degraded-mode activity observed during one run.
 ///
@@ -169,6 +170,9 @@ pub struct RunReport {
     pub(crate) wear: WearReport,
     pub(crate) faults: FaultStats,
     pub(crate) recovery: RecoveryStats,
+    /// One entry per configured tenant, in tenant-id order; empty on
+    /// untenanted runs.
+    pub(crate) tenants: Vec<TenantStats>,
     pub(crate) events: u64,
 }
 
@@ -380,6 +384,17 @@ impl RunReport {
         self.recovery
     }
 
+    /// Per-tenant results, one entry per configured tenant in
+    /// tenant-id order. Empty when the array ran untenanted.
+    pub fn tenant_stats(&self) -> &[TenantStats] {
+        &self.tenants
+    }
+
+    /// Total SLA violations across every tenant.
+    pub fn sla_violations(&self) -> u64 {
+        self.tenants.iter().map(|t| t.violations).sum()
+    }
+
     /// Simulator events processed (diagnostics / perf benches).
     pub fn events_processed(&self) -> u64 {
         self.events
@@ -465,6 +480,27 @@ impl std::fmt::Display for RunReport {
                 self.recovery
             )?;
         }
+        // A single tenant is just the anonymous stream with a name; the
+        // per-tenant section only earns its lines when there is real
+        // multi-tenancy to break down (and the quiet goldens stay put).
+        if self.tenants.len() >= 2 {
+            for t in &self.tenants {
+                write!(
+                    f,
+                    "
+  tenant.{}: w{} {} done ({} rd / {} wr), p99 {:.1}us (target {:.1}us), {} violations ({:.2}%)",
+                    t.tenant,
+                    t.weight,
+                    t.completed,
+                    t.reads,
+                    t.writes,
+                    t.p99_ns as f64 / 1_000.0,
+                    t.sla_p99_ns as f64 / 1_000.0,
+                    t.violations,
+                    t.violation_rate() * 100.0
+                )?;
+            }
+        }
         Ok(())
     }
 }
@@ -496,6 +532,7 @@ mod tests {
             wear: WearReport::default(),
             faults: FaultStats::default(),
             recovery: RecoveryStats::default(),
+            tenants: Vec::new(),
             events: 0,
         }
     }
@@ -569,6 +606,42 @@ mod tests {
         assert!(text.contains("1 power losses"));
         assert!(text.contains("42 replayed"));
         assert!(text.contains("1 rebuilds"));
+    }
+
+    #[test]
+    fn tenant_section_renders_only_with_two_or_more() {
+        let mut r = empty_report();
+        r.completed = 10;
+        let one = TenantStats {
+            tenant: 0,
+            weight: 8,
+            sla_p99_ns: 200_000,
+            completed: 10,
+            reads: 10,
+            violations: 3,
+            p99_ns: 450_000,
+            ..TenantStats::default()
+        };
+        r.tenants = vec![one];
+        assert!(
+            !r.to_string().contains("tenant.0"),
+            "a lone tenant must keep the quiet summary"
+        );
+        assert_eq!(r.tenant_stats().len(), 1);
+        assert_eq!(r.sla_violations(), 3);
+        let two = TenantStats {
+            tenant: 1,
+            weight: 1,
+            sla_p99_ns: 5_000_000,
+            completed: 4,
+            writes: 4,
+            ..TenantStats::default()
+        };
+        r.tenants.push(two);
+        let text = r.to_string();
+        assert!(text.contains("tenant.0: w8 10 done"));
+        assert!(text.contains("3 violations (30.00%)"));
+        assert!(text.contains("tenant.1: w1 4 done"));
     }
 
     #[test]

@@ -3,6 +3,8 @@
 use triplea_ftl::{LogicalPage, PhysLoc};
 use triplea_sim::{Nanos, SimTime};
 
+use crate::tenant::TenantId;
+
 /// Direction of an I/O request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum IoOp {
@@ -22,6 +24,11 @@ impl std::fmt::Display for IoOp {
 }
 
 /// One record of an I/O trace.
+///
+/// Construct these through [`TraceRequest::new`] (anonymous) or
+/// [`TraceRequest::for_tenant`] (owned); bare struct literals are
+/// discouraged outside this crate — they bypass the tenant model the
+/// same way bare `ArrayConfig` literals bypass validation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TraceRequest {
     /// Host submission time.
@@ -32,6 +39,39 @@ pub struct TraceRequest {
     pub lpn: LogicalPage,
     /// Number of consecutive pages (≥ 1).
     pub pages: u32,
+    /// Owning tenant ([`TenantId::DEFAULT`] on untenanted traces).
+    pub tenant: TenantId,
+}
+
+impl TraceRequest {
+    /// An anonymous request: owned by [`TenantId::DEFAULT`].
+    pub fn new(at: SimTime, op: IoOp, lpn: LogicalPage, pages: u32) -> Self {
+        TraceRequest::for_tenant(TenantId::DEFAULT, at, op, lpn, pages)
+    }
+
+    /// A request submitted on `tenant`'s queue pair.
+    pub fn for_tenant(
+        tenant: TenantId,
+        at: SimTime,
+        op: IoOp,
+        lpn: LogicalPage,
+        pages: u32,
+    ) -> Self {
+        TraceRequest {
+            at,
+            op,
+            lpn,
+            pages,
+            tenant,
+        }
+    }
+
+    /// The same request re-stamped with a new owner — how per-tenant
+    /// workload bindings assign a generated stream to its tenant.
+    pub fn owned_by(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
+        self
+    }
 }
 
 /// A complete trace: requests sorted by submission time.
@@ -50,6 +90,12 @@ impl Trace {
     /// The records in submission order.
     pub fn requests(&self) -> &[TraceRequest] {
         &self.requests
+    }
+
+    /// Consumes the trace, yielding the records in submission order —
+    /// the zero-copy path for re-stamping and blending streams.
+    pub fn into_requests(self) -> Vec<TraceRequest> {
+        self.requests
     }
 
     /// Number of records.
@@ -149,6 +195,7 @@ pub(crate) struct RequestState {
     pub op: IoOp,
     pub lpn: LogicalPage,
     pub pages: u32,
+    pub tenant: TenantId,
     pub submit: SimTime,
     /// Physical locations pinned at routing time (migration keeps old
     /// copies readable for in-flight requests).
@@ -184,6 +231,7 @@ impl RequestState {
             op: r.op,
             lpn: r.lpn,
             pages: r.pages,
+            tenant: r.tenant,
             submit: r.at,
             locs: Vec::new(),
             cluster: 0,
@@ -207,12 +255,7 @@ mod tests {
     use super::*;
 
     fn req(at_us: u64, op: IoOp) -> TraceRequest {
-        TraceRequest {
-            at: SimTime::from_us(at_us),
-            op,
-            lpn: LogicalPage(0),
-            pages: 1,
-        }
+        TraceRequest::new(SimTime::from_us(at_us), op, LogicalPage(0), 1)
     }
 
     #[test]
@@ -263,6 +306,35 @@ mod tests {
         acc.accumulate(&bd);
         acc.accumulate(&bd);
         assert_eq!(acc.fimm_service, 128);
+    }
+
+    #[test]
+    fn constructors_stamp_tenants() {
+        let anon = req(0, IoOp::Read);
+        assert_eq!(anon.tenant, TenantId::DEFAULT);
+        let owned = TraceRequest::for_tenant(
+            TenantId(3),
+            SimTime::ZERO,
+            IoOp::Write,
+            LogicalPage(9),
+            2,
+        );
+        assert_eq!(owned.tenant, TenantId(3));
+        assert_eq!((owned.lpn, owned.pages), (LogicalPage(9), 2));
+        assert_eq!(anon.owned_by(TenantId(7)).tenant, TenantId(7));
+        assert_eq!(RequestState::new(&owned).tenant, TenantId(3));
+    }
+
+    #[test]
+    fn trace_sort_is_stable_across_tenant_blends() {
+        // Two tenants' streams merged at identical timestamps must keep
+        // insertion order (stable sort) so blended traces stay
+        // deterministic.
+        let a = TraceRequest::for_tenant(TenantId(0), SimTime::ZERO, IoOp::Read, LogicalPage(1), 1);
+        let b = TraceRequest::for_tenant(TenantId(1), SimTime::ZERO, IoOp::Read, LogicalPage(2), 1);
+        let t = Trace::new(vec![a, b]);
+        assert_eq!(t.requests()[0].tenant, TenantId(0));
+        assert_eq!(t.requests()[1].tenant, TenantId(1));
     }
 
     #[test]

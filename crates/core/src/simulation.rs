@@ -3,10 +3,12 @@
 //! [`Simulation::builder()`] assembles a validated run: a
 //! cross-field-checked [`ArrayConfig`] (rejected with a typed
 //! [`ConfigError`] rather than a mid-run panic), a
-//! [`ManagementMode`], and optionally an event recorder
-//! ([`TraceConfig`]). Running returns either a plain [`RunReport`] or a
-//! typed [`VerifiedRun`] carrying the report, the harvested trace, and
-//! the FTL integrity audit.
+//! [`ManagementMode`], optionally an event recorder ([`TraceConfig`]),
+//! and — on tenant-enabled arrays — per-tenant workload bindings
+//! ([`SimulationBuilder::bind_tenant`]) in place of one anonymous
+//! trace. Running returns either a plain [`RunReport`] or a typed
+//! [`VerifiedRun`] carrying the report, the harvested trace, and the
+//! FTL integrity audit.
 //!
 //! # Example
 //!
@@ -22,12 +24,7 @@
 //!     .with_recorder(TraceConfig::all())
 //!     .build()
 //!     .expect("valid configuration");
-//! let trace = Trace::new(vec![TraceRequest {
-//!     at: SimTime::ZERO,
-//!     op: IoOp::Read,
-//!     lpn: LogicalPage(0),
-//!     pages: 1,
-//! }]);
+//! let trace = Trace::new(vec![TraceRequest::new(SimTime::ZERO, IoOp::Read, LogicalPage(0), 1)]);
 //! let run = sim.run_verified(&trace);
 //! assert_eq!(run.report.completed(), 1);
 //! assert!(run.integrity.is_ok());
@@ -41,22 +38,27 @@ use crate::array::{Array, VerifiedRun};
 use crate::config::{ArrayConfig, ArrayConfigBuilder, ConfigError, ManagementMode};
 use crate::metrics::RunReport;
 use crate::request::Trace;
+use crate::tenant::TenantId;
 
 /// A fully assembled, validated simulation, ready to replay a
 /// [`Trace`]. Built by [`SimulationBuilder`]; see the module docs.
 #[derive(Debug)]
 pub struct Simulation {
     array: Array,
+    /// The blended per-tenant workload, when the builder bound any.
+    bound: Option<Trace>,
 }
 
 impl Simulation {
     /// Starts a builder seeded with the paper-baseline configuration in
-    /// [`ManagementMode::Autonomic`] and no recorder.
+    /// [`ManagementMode::Autonomic`], no recorder, and no tenant
+    /// bindings.
     pub fn builder() -> SimulationBuilder {
         SimulationBuilder {
             config: ArrayConfig::builder(),
             mode: ManagementMode::Autonomic,
             trace: None,
+            bindings: Vec::new(),
         }
     }
 
@@ -68,6 +70,27 @@ impl Simulation {
     /// The management mode in force.
     pub fn mode(&self) -> ManagementMode {
         self.array.mode()
+    }
+
+    /// The blended trace assembled from the builder's
+    /// [`bind_tenant`](SimulationBuilder::bind_tenant) calls: every
+    /// bound stream re-stamped with its owner and merged in submission
+    /// order. `None` when nothing was bound.
+    pub fn bound_trace(&self) -> Option<&Trace> {
+        self.bound.as_ref()
+    }
+
+    /// Replays the bound per-tenant workload to completion. Replays an
+    /// empty trace when the builder bound nothing.
+    pub fn run_bound(self) -> RunReport {
+        let trace = self.bound.unwrap_or_default();
+        self.array.run(&trace)
+    }
+
+    /// [`Simulation::run_bound`], returning the typed [`VerifiedRun`].
+    pub fn run_bound_verified(self) -> VerifiedRun {
+        let trace = self.bound.unwrap_or_default();
+        self.array.run_verified(&trace)
     }
 
     /// Replays `trace` to completion. See [`Array::run`].
@@ -85,11 +108,13 @@ impl Simulation {
 
 /// Builder for [`Simulation`]; the only construction path that
 /// validates the configuration before any hardware is assembled.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct SimulationBuilder {
     config: ArrayConfigBuilder,
     mode: ManagementMode,
     trace: Option<TraceConfig>,
+    /// Per-tenant workload streams, blended at build time.
+    bindings: Vec<(TenantId, Trace)>,
 }
 
 impl SimulationBuilder {
@@ -128,19 +153,59 @@ impl SimulationBuilder {
         self
     }
 
+    /// Binds `trace` to `tenant`: every request in the stream is
+    /// re-stamped as owned by that tenant, and at
+    /// [`build`](SimulationBuilder::build) time all bound streams are
+    /// merged into one submission-ordered workload, replayed with
+    /// [`Simulation::run_bound`]. Streams tied at the same timestamp
+    /// keep binding order (the merge sort is stable), so blends are
+    /// deterministic. Binding the same tenant twice concatenates the
+    /// streams.
+    pub fn bind_tenant(mut self, tenant: TenantId, trace: Trace) -> Self {
+        self.bindings.push((tenant, trace));
+        self
+    }
+
     /// Validates the configuration and assembles the array.
     ///
     /// # Errors
     ///
     /// Returns the first [`ConfigError`] the cross-field validation
-    /// finds; nothing is constructed on failure.
+    /// finds — including [`ConfigError::UnboundTenant`] when a
+    /// [`bind_tenant`](SimulationBuilder::bind_tenant) call names a
+    /// tenant outside the configured table; nothing is constructed on
+    /// failure.
     pub fn build(self) -> Result<Simulation, ConfigError> {
         let cfg = self.config.build()?;
+        let tenants = cfg.tenants.len();
+        for (tenant, _) in &self.bindings {
+            if tenant.index() >= tenants {
+                return Err(ConfigError::UnboundTenant {
+                    tenant: tenant.0,
+                    tenants,
+                });
+            }
+        }
+        let bound = if self.bindings.is_empty() {
+            None
+        } else {
+            let requests = self
+                .bindings
+                .into_iter()
+                .flat_map(|(tenant, trace)| {
+                    trace
+                        .into_requests()
+                        .into_iter()
+                        .map(move |r| r.owned_by(tenant))
+                })
+                .collect::<Vec<_>>();
+            Some(Trace::new(requests))
+        };
         let mut array = Array::new(cfg, self.mode);
         if let Some(tc) = self.trace {
             array = array.with_recorder(tc);
         }
-        Ok(Simulation { array })
+        Ok(Simulation { array, bound })
     }
 }
 
@@ -152,12 +217,12 @@ mod tests {
     use triplea_sim::SimTime;
 
     fn one_read() -> Trace {
-        Trace::new(vec![TraceRequest {
-            at: SimTime::ZERO,
-            op: IoOp::Read,
-            lpn: LogicalPage(0),
-            pages: 1,
-        }])
+        Trace::new(vec![TraceRequest::new(
+            SimTime::ZERO,
+            IoOp::Read,
+            LogicalPage(0),
+            1,
+        )])
     }
 
     #[test]
@@ -215,11 +280,8 @@ mod tests {
     #[test]
     fn recorder_does_not_perturb_the_simulation() {
         let trace = (0..400)
-            .map(|i| TraceRequest {
-                at: SimTime::from_nanos(i * 900),
-                op: IoOp::Read,
-                lpn: LogicalPage(i % 512),
-                pages: 1,
+            .map(|i| {
+                TraceRequest::new(SimTime::from_nanos(i * 900), IoOp::Read, LogicalPage(i % 512), 1)
             })
             .collect();
         let plain = Simulation::builder()
@@ -234,6 +296,65 @@ mod tests {
             .unwrap()
             .run_verified(&trace);
         assert_eq!(plain.report, traced.report, "tracing must be zero-impact");
+    }
+
+    #[test]
+    fn bound_workloads_blend_and_attribute_per_tenant() {
+        use crate::tenant::TenantSpec;
+        let stream = |n: u64, offset: u64| -> Trace {
+            (0..n)
+                .map(|i| {
+                    TraceRequest::new(
+                        SimTime::from_nanos(offset + i * 700),
+                        IoOp::Read,
+                        LogicalPage(i % 256),
+                        1,
+                    )
+                })
+                .collect()
+        };
+        let sim = Simulation::builder()
+            .small_test()
+            .configure(|c| c.with_tenants([TenantSpec::interactive(), TenantSpec::batch()]))
+            .bind_tenant(TenantId(0), stream(120, 0))
+            .bind_tenant(TenantId(1), stream(80, 350))
+            .build()
+            .unwrap();
+        let blended = sim.bound_trace().expect("bindings present");
+        assert_eq!(blended.len(), 200);
+        assert!(blended.requests().windows(2).all(|w| w[0].at <= w[1].at));
+        let report = sim.run_bound();
+        assert_eq!(report.completed(), 200);
+        let ts = report.tenant_stats();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[0].completed, 120);
+        assert_eq!(ts[1].completed, 80);
+    }
+
+    #[test]
+    fn binding_an_undeclared_tenant_is_a_config_error() {
+        use crate::tenant::TenantSpec;
+        let err = Simulation::builder()
+            .small_test()
+            .configure(|c| c.with_tenants([TenantSpec::interactive()]))
+            .bind_tenant(TenantId(3), one_read())
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::UnboundTenant {
+                tenant: 3,
+                tenants: 1
+            }
+        );
+        assert!(err.to_string().contains("tenant.3"), "{err}");
+    }
+
+    #[test]
+    fn unbound_builder_runs_an_empty_bound_trace() {
+        let sim = Simulation::builder().small_test().build().unwrap();
+        assert!(sim.bound_trace().is_none());
+        assert_eq!(sim.run_bound().completed(), 0);
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //! experiment harness persists reports into `results/*.json` and the
 //! golden-snapshot suite compares those artifacts byte-for-byte.
 
-use triplea_core::{Array, ArrayConfig, IoOp, ManagementMode, RunReport, Trace, TraceRequest};
+use triplea_core::{
+    Array, ArrayConfig, IoOp, ManagementMode, RunReport, TenantId, TenantSpec, Trace, TraceRequest,
+};
 use triplea_ftl::LogicalPage;
 use triplea_sim::SimTime;
 
@@ -12,11 +14,34 @@ use triplea_sim::SimTime;
 fn populated_report() -> RunReport {
     let cfg = ArrayConfig::small_test();
     let trace: Trace = (0..600)
-        .map(|i| TraceRequest {
-            at: SimTime::from_us(i / 4),
-            op: if i % 5 == 0 { IoOp::Write } else { IoOp::Read },
-            lpn: LogicalPage((i % 64) * 8),
-            pages: 1,
+        .map(|i| {
+            TraceRequest::new(
+                SimTime::from_us(i / 4),
+                if i % 5 == 0 { IoOp::Write } else { IoOp::Read },
+                LogicalPage((i % 64) * 8),
+                1,
+            )
+        })
+        .collect();
+    Array::new(cfg, ManagementMode::Autonomic).run(&trace)
+}
+
+/// The same traffic split round-robin across a three-tenant table, so
+/// the report carries a populated per-tenant section.
+fn tenanted_report() -> RunReport {
+    let mut cfg = ArrayConfig::small_test();
+    cfg.tenants = [TenantSpec::interactive(), TenantSpec::batch(), TenantSpec::batch()]
+        .into_iter()
+        .collect();
+    let trace: Trace = (0..600)
+        .map(|i| {
+            TraceRequest::for_tenant(
+                TenantId((i % 3) as u32),
+                SimTime::from_us(i / 4),
+                if i % 5 == 0 { IoOp::Write } else { IoOp::Read },
+                LogicalPage((i % 64) * 8),
+                1,
+            )
         })
         .collect();
     Array::new(cfg, ManagementMode::Autonomic).run(&trace)
@@ -50,6 +75,23 @@ fn run_report_round_trips_losslessly_through_json() {
     assert_eq!(back.fault_stats(), report.fault_stats());
 
     // Serializing the reconstruction reproduces the exact bytes.
+    let text2 = serde_json::to_string_pretty(&back).expect("round-tripped report serializes");
+    assert_eq!(text2, text);
+}
+
+#[test]
+fn tenant_stats_round_trip_losslessly_through_json() {
+    let report = tenanted_report();
+    let ts = report.tenant_stats();
+    assert_eq!(ts.len(), 3, "three tenants configured");
+    assert!(ts.iter().all(|t| t.completed > 0), "all lanes saw traffic");
+
+    let text = serde_json::to_string_pretty(&report).expect("tenanted report serializes");
+    let back: RunReport = serde_json::from_str(&text).expect("tenanted report deserializes");
+    assert_eq!(back, report);
+    assert_eq!(back.tenant_stats(), report.tenant_stats());
+    assert_eq!(back.sla_violations(), report.sla_violations());
+
     let text2 = serde_json::to_string_pretty(&back).expect("round-tripped report serializes");
     assert_eq!(text2, text);
 }

@@ -104,12 +104,7 @@ mod tests {
     }
 
     fn req(i: u64, op: IoOp, lpn: u64) -> TraceRequest {
-        TraceRequest {
-            at: SimTime::from_us(i),
-            op,
-            lpn: LogicalPage(lpn),
-            pages: 1,
-        }
+        TraceRequest::new(SimTime::from_us(i), op, LogicalPage(lpn), 1)
     }
 
     #[test]

@@ -250,12 +250,12 @@ pub fn parse_trace_bounded<R: Read>(reader: R, lpn_limit: u64) -> Result<Trace, 
             }
         }
         seen_record = true;
-        out.push(TraceRequest {
-            at: SimTime::from_nanos(at),
+        out.push(TraceRequest::new(
+            SimTime::from_nanos(at),
             op,
-            lpn: LogicalPage(lpn),
-            pages: pages as u32,
-        });
+            LogicalPage(lpn),
+            pages as u32,
+        ));
     }
     Ok(Trace::new(out))
 }

@@ -289,12 +289,12 @@ impl TraceMapper {
                 // Natural replay: one filetime tick is 100 ns.
                 None => rel_ticks.saturating_mul(100),
             };
-            out.push(TraceRequest {
-                at: SimTime::from_nanos(at_ns),
-                op: r.op,
-                lpn: LogicalPage(lpn),
+            out.push(TraceRequest::new(
+                SimTime::from_nanos(at_ns),
+                r.op,
+                LogicalPage(lpn),
                 pages,
-            });
+            ));
         }
         Trace::new(out)
     }

@@ -29,11 +29,11 @@ fn main() {
             2_048,
         ),
     ] {
-        let mut cfg = base_cfg;
+        let mut cfg = base_cfg.clone();
         cfg.write_buffer_pages = buffer_pages;
         println!("== {label} ==");
         for mode in [ManagementMode::NonAutonomic, ManagementMode::Autonomic] {
-            let report = Array::new(cfg, mode).run(&trace);
+            let report = Array::new(cfg.clone(), mode).run(&trace);
             let auto = report.autonomic_stats();
             println!(
                 "  {mode:<14} ack mean {:>9.1} us   p99 {:>9.1} us   redirects {}",

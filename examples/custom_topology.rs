@@ -17,7 +17,7 @@ fn gain(cfg: ArrayConfig) -> (f64, f64) {
         .requests(40_000)
         .gap_ns(830)
         .build(&cfg, 5);
-    let base = Array::new(cfg, ManagementMode::NonAutonomic).run(&trace);
+    let base = Array::new(cfg.clone(), ManagementMode::NonAutonomic).run(&trace);
     let aaa = Array::new(cfg, ManagementMode::Autonomic).run(&trace);
     (
         aaa.iops() / base.iops().max(1e-9),

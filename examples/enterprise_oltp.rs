@@ -11,8 +11,8 @@ use triple_a::core::{Array, ArrayConfig, ManagementMode};
 use triple_a::workloads::{ProfileTrace, WorkloadProfile};
 
 fn report_line(label: &str, cfg: ArrayConfig, trace: &triple_a::core::Trace) {
-    let base = Array::new(cfg, ManagementMode::NonAutonomic).run(trace);
-    let aaa = Array::new(cfg, ManagementMode::Autonomic).run(trace);
+    let base = Array::new(cfg.clone(), ManagementMode::NonAutonomic).run(trace);
+    let aaa = Array::new(cfg.clone(), ManagementMode::Autonomic).run(trace);
     println!(
         "{label:<24} latency {:>8.1} -> {:>8.1} us ({:.2}x)   IOPS {:>9.0} -> {:>9.0} ({:.2}x)",
         base.mean_latency_us(),
@@ -39,7 +39,7 @@ fn main() {
         .gap_ns(210)
         .hot_region_pages(1_024)
         .build(&cfg, 11);
-    report_line("websql (same switch)", cfg, &trace);
+    report_line("websql (same switch)", cfg.clone(), &trace);
 
     // Contrast with prn: two hot clusters on different switches.
     let prn = WorkloadProfile::by_name("prn").expect("known profile");

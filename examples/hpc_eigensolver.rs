@@ -36,7 +36,7 @@ fn main() {
         stats.hot_io_ratio * 100.0
     );
 
-    let base = Array::new(cfg, ManagementMode::NonAutonomic).run(&trace);
+    let base = Array::new(cfg.clone(), ManagementMode::NonAutonomic).run(&trace);
     let aaa = Array::new(cfg, ManagementMode::Autonomic).run(&trace);
 
     println!("                      baseline     triple-a");

@@ -27,7 +27,7 @@ fn main() {
         trace.len()
     );
     for mode in [ManagementMode::NonAutonomic, ManagementMode::Autonomic] {
-        let report = Array::new(cfg, mode).run(&trace);
+        let report = Array::new(cfg.clone(), mode).run(&trace);
         println!("== {mode} ==");
         println!("  completed      : {}", report.completed());
         println!("  IOPS           : {:>10.0}", report.iops());

@@ -26,7 +26,7 @@ fn hot_cluster_read_storm_full_paper_shape() {
         .requests(20_000)
         .gap_ns(1_400)
         .build(&cfg, 1);
-    let base = Array::new(cfg, ManagementMode::NonAutonomic).run(&trace);
+    let base = Array::new(cfg.clone(), ManagementMode::NonAutonomic).run(&trace);
     let aaa = Array::new(cfg, ManagementMode::Autonomic).run(&trace);
 
     assert_eq!(base.completed(), 20_000);
@@ -63,7 +63,7 @@ fn uniform_workload_unaffected_by_autonomic_mode() {
         .requests(10_000)
         .gap_ns(1_000)
         .build(&cfg, 2);
-    let base = Array::new(cfg, ManagementMode::NonAutonomic).run(&trace);
+    let base = Array::new(cfg.clone(), ManagementMode::NonAutonomic).run(&trace);
     let aaa = Array::new(cfg, ManagementMode::Autonomic).run(&trace);
     // cfs/web in the paper: no hot clusters, no gain, but no harm either.
     let ratio = aaa.mean_latency_us() / base.mean_latency_us();
@@ -79,7 +79,7 @@ fn profile_trace_runs_end_to_end() {
             .requests(5_000)
             .gap_ns(1_200)
             .build(&cfg, 3);
-        let report = Array::new(cfg, ManagementMode::Autonomic).run(&trace);
+        let report = Array::new(cfg.clone(), ManagementMode::Autonomic).run(&trace);
         assert_eq!(report.completed(), 5_000, "{name}");
         let expect_reads = (5_000.0 * profile.read_ratio) as i64;
         assert!(
@@ -97,7 +97,7 @@ fn whole_stack_is_deterministic() {
     let t1 = ProfileTrace::new(profile).requests(4_000).build(&cfg, 9);
     let t2 = ProfileTrace::new(profile).requests(4_000).build(&cfg, 9);
     assert_eq!(t1.requests(), t2.requests(), "generator deterministic");
-    let a = Array::new(cfg, ManagementMode::Autonomic).run(&t1);
+    let a = Array::new(cfg.clone(), ManagementMode::Autonomic).run(&t1);
     let b = Array::new(cfg, ManagementMode::Autonomic).run(&t2);
     assert_eq!(a.events_processed(), b.events_processed());
     assert_eq!(a.mean_latency_us(), b.mean_latency_us());

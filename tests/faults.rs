@@ -73,8 +73,8 @@ fn nonzero_fault_runs_are_deterministic() {
         };
     });
     let trace = hot_read_trace(&cfg);
-    let a = Array::new(cfg, ManagementMode::Autonomic).run(&trace);
-    let b = Array::new(cfg, ManagementMode::Autonomic).run(&trace);
+    let a = Array::new(cfg.clone(), ManagementMode::Autonomic).run(&trace);
+    let b = Array::new(cfg.clone(), ManagementMode::Autonomic).run(&trace);
     assert_eq!(format!("{a}"), format!("{b}"));
     assert_eq!(a.fault_stats(), b.fault_stats());
     assert!(a.fault_stats().any(), "rates this high must fault");
@@ -118,7 +118,7 @@ fn slowdown_fault_triggers_laggard_detection() {
     });
     let trace = hot_read_trace(&cfg);
 
-    let faulty = Array::new(cfg, ManagementMode::Autonomic).run(&trace);
+    let faulty = Array::new(cfg.clone(), ManagementMode::Autonomic).run(&trace);
     let clean_cfg = small_with(|c| c.autonomic = cfg.autonomic);
     let clean = Array::new(clean_cfg, ManagementMode::Autonomic).run(&trace);
 

@@ -32,7 +32,7 @@ fn csv_roundtrip_preserves_simulation_results() {
     csv::write_trace(&mut buf, &original).unwrap();
     let parsed = csv::parse_trace(buf.as_slice()).unwrap();
 
-    let a = Array::new(cfg, ManagementMode::Autonomic).run(&original);
+    let a = Array::new(cfg.clone(), ManagementMode::Autonomic).run(&original);
     let b = Array::new(cfg, ManagementMode::Autonomic).run(&parsed);
     assert_eq!(a.events_processed(), b.events_processed());
     assert_eq!(a.mean_latency_us(), b.mean_latency_us());

@@ -10,6 +10,7 @@ mod ablation;
 mod dram;
 mod failure_storm;
 mod faults;
+pub mod federation;
 mod fig01;
 mod fig09;
 mod fig10;
@@ -56,6 +57,7 @@ pub fn all(scale: Scale) -> Vec<Experiment> {
         failure_storm::spec(scale),
         timeline::spec(scale),
         sla::spec(scale),
+        federation::spec(scale),
     ];
     suite.extend(scenario::catalog(scale));
     suite

@@ -23,12 +23,13 @@ use triplea_workloads::{ScenarioTrace, TraceMapper, WorkloadProfile};
 
 /// Names of every catalog scenario, in artifact order — the list
 /// `bench scenario list` prints and the golden suite iterates.
-pub const NAMES: [&str; 5] = [
+pub const NAMES: [&str; 6] = [
     "scenario_trace_replay",
     "scenario_diurnal",
     "scenario_flash_crowd",
     "scenario_hotspot_drift",
     "scenario_failure_storm_mix",
+    "scenario_sla_under_drift",
 ];
 
 /// Builds the whole catalog, in [`NAMES`] order.
@@ -39,6 +40,7 @@ pub fn catalog(scale: Scale) -> Vec<Experiment> {
         flash_crowd(scale),
         hotspot_drift(scale),
         failure_storm_mix(scale),
+        sla_under_drift(scale),
     ]
 }
 
@@ -400,4 +402,132 @@ fn storm_point(
         ("cut_ns", uint(cut_ns)),
         ("aaa", report_json(&run.report)),
     ])
+}
+
+/// `scenario_sla_under_drift`: the multi-tenant front door under
+/// everything at once — an interactive/batch tenant blend (the `sla`
+/// sweep's tables), the interactive class riding a drifting hot set,
+/// the batch class breathing through a day curve, and a failure storm
+/// (power cut + module death + slowdown) timed to land mid-drift, when
+/// the interactive lanes' placement is already stale. Both management
+/// modes run the same blended trace; the autonomic run must survive the
+/// storm with full recovery accounting and the artifact compares
+/// per-class SLA violations.
+pub fn sla_under_drift(scale: Scale) -> Experiment {
+    use crate::experiments::sla;
+
+    let mut e = Experiment::new(
+        "scenario_sla_under_drift",
+        "Scenario: tenant SLAs under hot-set drift and a failure storm",
+    );
+    for n in [10usize, 100] {
+        e.point(format!("tenants/{n}"), move |ctx| {
+            let cfg0 = bench_config();
+            let k = sla::interactive_count(n);
+            let interactive_reqs = scale.requests * 2 / 5;
+            let batch_reqs = scale.requests - interactive_reqs;
+
+            // Interactive lanes chase a hot set that rotates to a
+            // disjoint cluster group every phase; batch lanes breathe
+            // through one diurnal cycle underneath them.
+            let gap = profile_gap_ns(&profile("fin"), &cfg0);
+            let drift = ScenarioTrace::hotspot_drift(profile("fin"), interactive_reqs, gap, 4)
+                .hot_region_pages(crate::HOT_REGION_PAGES);
+            let peak = profile_gap_ns(&profile("mds"), &cfg0);
+            let day = ScenarioTrace::diurnal(profile("mds"), batch_reqs, peak * 6, peak, 1)
+                .hot_region_pages(crate::HOT_REGION_PAGES);
+
+            // The storm is aimed at the interactive class: the cut lands
+            // mid third drift phase, after the hot set has moved twice,
+            // with a module death and a slowdown at earlier phase seams.
+            let starts = drift.phase_starts_ns();
+            let cut_ns = starts[2] + (starts[3] - starts[2]) / 2;
+            let cfg = bench_builder()
+                .with_tenants(sla::tenant_table(n))
+                .hot_spares(1)
+                .faults(storm_faults(&starts, cut_ns))
+                .build()
+                .expect("sla-under-drift configuration validates");
+
+            let mut all = sla::split_across(drift.build(&cfg, ctx.base_seed), 0, k);
+            all.extend(sla::split_across(
+                day.build(&cfg, ctx.base_seed ^ 0xD1A),
+                k,
+                n - k,
+            ));
+            let trace = Trace::new(all);
+
+            let base = Array::new(cfg.clone(), ManagementMode::NonAutonomic).run(&trace);
+            let run = Array::new(cfg, ManagementMode::Autonomic).run_verified(&trace);
+            run.integrity
+                .expect("FTL integrity violated after the mid-drift storm");
+            let rec = run.report.recovery_stats();
+            assert_eq!(rec.power_losses, 1, "the scheduled cut must fire");
+            assert_eq!(rec.rebuilds_completed, 1, "the dead module must rebuild");
+            assert_eq!(
+                run.report.completed() + rec.lost_inflight_requests,
+                trace.len() as u64,
+                "every request must complete or be accounted lost"
+            );
+            obj([
+                ("tenants", uint(n as u64)),
+                ("interactive", uint(k as u64)),
+                ("batch", uint((n - k) as u64)),
+                ("requests", uint(trace.len() as u64)),
+                ("cut_ns", uint(cut_ns)),
+                ("base", sla::mode_json(&base, k, false)),
+                ("aaa", sla::mode_json(&run.report, k, true)),
+                (
+                    "recovery",
+                    obj([
+                        ("power_losses", uint(rec.power_losses)),
+                        ("lost_inflight_requests", uint(rec.lost_inflight_requests)),
+                        ("journal_replayed", uint(rec.journal_replayed)),
+                        ("rebuilds_completed", uint(rec.rebuilds_completed)),
+                        ("remount_ns", uint(rec.remount_ns)),
+                    ]),
+                ),
+            ])
+        });
+    }
+    e.renderer(|res| {
+        let rows: Vec<Vec<String>> = res
+            .points
+            .iter()
+            .map(|p| {
+                let d = &p.data;
+                vec![
+                    p.label.clone(),
+                    ju(d, "base.sla_violations").to_string(),
+                    ju(d, "aaa.sla_violations").to_string(),
+                    ju(d, "aaa.interactive_violations").to_string(),
+                    ju(d, "aaa.batch_violations").to_string(),
+                    ju(d, "aaa.violating_tenants").to_string(),
+                    ju(d, "recovery.rebuilds_completed").to_string(),
+                    f1(ju(d, "aaa.worst_interactive_p99_ns") as f64 / 1e3),
+                ]
+            })
+            .collect();
+        let mut out = crate::harness::fmt_table(
+            "Tenant SLAs under drift + failure storm: base vs Triple-A",
+            &[
+                "Point",
+                "Base viol",
+                "AAA viol",
+                "Int viol",
+                "Batch viol",
+                "Viol tenants",
+                "Rebuilds",
+                "Worst int p99 us",
+            ],
+            &rows,
+        );
+        out.push_str(
+            "\nthe cut lands mid drift phase with a module dead and a lane\n\
+             slowed; the autonomic run must remount, rebuild onto the spare,\n\
+             and keep the interactive class inside its p99 budget.\n",
+        );
+        out
+    });
+    e
 }

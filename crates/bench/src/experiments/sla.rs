@@ -35,13 +35,13 @@ fn profile(name: &str) -> WorkloadProfile {
 }
 
 /// Interactive tenants in an `n`-tenant table (20 %, at least one).
-fn interactive_count(n: usize) -> usize {
+pub(crate) fn interactive_count(n: usize) -> usize {
     (n / 5).max(1)
 }
 
 /// The tenant table for an `n`-tenant point: interactive lanes first,
 /// batch lanes after.
-fn tenant_table(n: usize) -> Vec<TenantSpec> {
+pub(crate) fn tenant_table(n: usize) -> Vec<TenantSpec> {
     let k = interactive_count(n);
     (0..n)
         .map(|i| {
@@ -55,7 +55,11 @@ fn tenant_table(n: usize) -> Vec<TenantSpec> {
 }
 
 /// Splits `trace` round-robin across tenants `[first, first + count)`.
-fn split_across(trace: Trace, first: usize, count: usize) -> Vec<triplea_core::TraceRequest> {
+pub(crate) fn split_across(
+    trace: Trace,
+    first: usize,
+    count: usize,
+) -> Vec<triplea_core::TraceRequest> {
     trace
         .into_requests()
         .into_iter()
@@ -92,7 +96,7 @@ fn class_summary(stats: &[TenantStats], k: usize) -> (u64, u64, u64, u64) {
 
 /// Mode summary: headline numbers plus the per-tenant heatmap rows
 /// (`[tenant, completed, violations, p99_ns]`, in tenant order).
-fn mode_json(report: &RunReport, k: usize, with_heatmap: bool) -> Value {
+pub(crate) fn mode_json(report: &RunReport, k: usize, with_heatmap: bool) -> Value {
     let stats = report.tenant_stats();
     let (violating, vi, vb, worst) = class_summary(stats, k);
     let mut v = obj([

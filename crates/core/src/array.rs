@@ -74,6 +74,11 @@ enum Ev {
         cluster: u32,
         fimm: u32,
         pages: u32,
+        /// Cluster whose write buffer admitted the request. Pages may be
+        /// allocated on a different cluster than the one that buffered
+        /// them (e.g. a multi-page run straddling a migrated boundary),
+        /// but the buffer credit must be returned where it was taken.
+        buf_cluster: u32,
     },
     RespAtSw(u32),
     RespAtRc(u32),
@@ -627,6 +632,160 @@ impl Array {
             integrity,
         }
     }
+
+    /// Converts the idle array into an [`ArrayRunner`]: the same engine,
+    /// driven incrementally instead of to completion. The federation
+    /// layer uses this to interleave N member arrays inside one
+    /// deterministic epoch loop; [`Array::run_verified`] remains the
+    /// single-array fast path and is byte-identical to previous
+    /// releases.
+    pub fn into_runner(mut self) -> ArrayRunner {
+        self.e.arm_recovery();
+        ArrayRunner {
+            e: self.e,
+            submitted: 0,
+        }
+    }
+}
+
+/// An [`Array`] engine driven incrementally: requests are injected one
+/// at a time with [`ArrayRunner::submit`] and simulated time advances in
+/// bounded steps with [`ArrayRunner::step_until`], so several arrays can
+/// be co-simulated deterministically by one scheduler (see the
+/// `federation` module). Event handling is identical to
+/// [`Array::run_verified`]; only the driver differs.
+pub struct ArrayRunner {
+    e: Engine,
+    submitted: u64,
+}
+
+impl std::fmt::Debug for ArrayRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArrayRunner")
+            .field("mode", &self.e.mode)
+            .field("submitted", &self.submitted)
+            .field("completed", &self.e.completed)
+            .finish()
+    }
+}
+
+impl ArrayRunner {
+    /// The configuration in force.
+    pub fn config(&self) -> &ArrayConfig {
+        &self.e.cfg
+    }
+
+    /// Injects one request, returning its id for later
+    /// [`ArrayRunner::is_done`] / [`ArrayRunner::is_lost`] polling.
+    ///
+    /// # Panics
+    ///
+    /// Same validation as [`Array::run_verified`]: `pages >= 1`, the
+    /// address range inside the array, and (on tenant-enabled arrays) a
+    /// tenant inside the configured table. The submission time must not
+    /// be earlier than any instant already stepped past.
+    pub fn submit(&mut self, r: &crate::request::TraceRequest) -> u32 {
+        let total_pages = self.e.cfg.shape.total_pages();
+        let n_tenants = self.e.cfg.tenants.len();
+        assert!(r.pages >= 1, "request has zero pages");
+        assert!(
+            r.lpn.0 + r.pages as u64 <= total_pages,
+            "request exceeds the address space"
+        );
+        assert!(
+            n_tenants == 0 || r.tenant.index() < n_tenants,
+            "request names {} but the config has {n_tenants} tenants",
+            r.tenant
+        );
+        let id = self.e.reqs.len() as u32;
+        self.e.reqs.push(RequestState::new(r));
+        self.e.queue.push(r.at, Ev::Submit(id));
+        self.e.first_submit = self.e.first_submit.min(r.at);
+        self.submitted += 1;
+        id
+    }
+
+    /// Drains every event strictly before `t`, exactly as the
+    /// [`Array::run_verified`] loop would (including the recorder-clock
+    /// bookkeeping on traced runs).
+    pub fn step_until(&mut self, t: SimTime) {
+        if let Some(rec) = self.e.recorder.clone() {
+            while self.e.queue.peek_time().is_some_and(|pt| pt < t) {
+                let (now, ev) = self.e.queue.pop().expect("peeked event present");
+                rec.set_now(now);
+                self.e.events += 1;
+                self.e.handle(now, ev);
+            }
+        } else {
+            while self.e.queue.peek_time().is_some_and(|pt| pt < t) {
+                let (now, ev) = self.e.queue.pop().expect("peeked event present");
+                self.e.events += 1;
+                self.e.handle(now, ev);
+            }
+        }
+    }
+
+    /// `true` when the event calendar is empty (every injected request
+    /// has either completed or been lost to a power cut).
+    pub fn is_idle(&self) -> bool {
+        self.e.queue.is_empty()
+    }
+
+    /// Requests injected so far.
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// Requests completed so far.
+    pub fn completed(&self) -> u64 {
+        self.e.completed
+    }
+
+    /// In-flight requests lost to a power cut so far.
+    pub fn lost(&self) -> u64 {
+        self.e.recovery.lost_inflight_requests
+    }
+
+    /// Cumulative 99th-percentile completion latency, ns (0 until the
+    /// first completion).
+    pub fn p99_ns(&self) -> u64 {
+        self.e.lat.percentile(0.99)
+    }
+
+    /// `true` once request `id` has completed.
+    pub fn is_done(&self, id: u32) -> bool {
+        self.e.reqs[id as usize].done
+    }
+
+    /// `true` when request `id` was in flight at a power cut and will
+    /// never complete (its completion callback died with the calendar).
+    pub fn is_lost(&self, id: u32) -> bool {
+        let rs = &self.e.reqs[id as usize];
+        !rs.done && rs.stage == Stage::Done
+    }
+
+    /// Completion instant of request `id` ([`SimTime::ZERO`] until it
+    /// completes).
+    pub fn finish_time(&self, id: u32) -> SimTime {
+        self.e.reqs[id as usize].finish
+    }
+
+    /// Drains every remaining event, audits FTL metadata integrity, and
+    /// produces the run outcome — the incremental equivalent of the tail
+    /// of [`Array::run_verified`].
+    pub fn finish(mut self) -> VerifiedRun {
+        self.step_until(SimTime::MAX);
+        if self.e.first_submit == SimTime::MAX {
+            self.e.first_submit = SimTime::ZERO;
+        }
+        let integrity = self.e.ftl.verify_integrity();
+        let run_trace = self.e.harvest_trace();
+        VerifiedRun {
+            report: self.e.into_report(),
+            trace: run_trace,
+            integrity,
+        }
+    }
 }
 
 impl Engine {
@@ -687,7 +846,8 @@ impl Engine {
                 cluster,
                 fimm,
                 pages,
-            } => self.on_write_programmed(now, cluster, fimm, pages),
+                buf_cluster,
+            } => self.on_write_programmed(now, cluster, fimm, pages, buf_cluster),
             Ev::RespAtSw(r) => self.on_resp_at_sw(now, r),
             Ev::RespAtRc(r) => self.on_resp_at_rc(now, r),
             Ev::Complete(r) => self.on_complete(now, r),
@@ -1968,6 +2128,7 @@ impl Engine {
                     cluster: tc as u32,
                     fimm: loc.fimm,
                     pages: 1,
+                    buf_cluster: cluster,
                 },
             );
         }
@@ -1975,19 +2136,29 @@ impl Engine {
         self.respond(now, r);
     }
 
-    fn on_write_programmed(&mut self, now: SimTime, cluster: u32, fimm: u32, pages: u32) {
+    fn on_write_programmed(
+        &mut self,
+        now: SimTime,
+        cluster: u32,
+        fimm: u32,
+        pages: u32,
+        buf_cluster: u32,
+    ) {
+        // Buffer credit returns to the admitting cluster; the program
+        // bookkeeping belongs to the cluster the page landed on.
+        let b = buf_cluster as usize;
         let c = cluster as usize;
-        self.clusters[c].wbuf_used -= pages as usize;
+        self.clusters[b].wbuf_used -= pages as usize;
         self.clusters[c].pending_prog_pages[fimm as usize] -= pages as u64;
         self.maybe_gc(now, cluster, fimm);
         // Admit parked writes that now fit.
-        while let Some(&head) = self.clusters[c].wbuf_waiters.front() {
+        while let Some(&head) = self.clusters[b].wbuf_waiters.front() {
             let need = self.reqs[head as usize].pages as usize;
-            if self.clusters[c].wbuf_free() < need {
+            if self.clusters[b].wbuf_free() < need {
                 break;
             }
-            self.clusters[c].wbuf_waiters.pop_front();
-            self.clusters[c].wbuf_used += need;
+            self.clusters[b].wbuf_waiters.pop_front();
+            self.clusters[b].wbuf_used += need;
             let wait_since = self.reqs[head as usize].wait_since;
             self.reqs[head as usize].bd.wbuf_wait += now - wait_since;
             self.do_write(now, head);
@@ -2144,6 +2315,7 @@ impl Engine {
         debug_assert!(!rs.done, "request completed twice");
         rs.done = true;
         rs.stage = Stage::Done;
+        rs.finish = now;
         let total = now - rs.submit;
         let op = rs.op;
         let submit = rs.submit;

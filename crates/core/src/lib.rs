@@ -47,12 +47,18 @@ mod array;
 mod autonomic;
 mod cluster;
 mod config;
+mod federation;
 mod metrics;
 mod request;
 mod simulation;
 mod tenant;
 
-pub use array::{Array, VerifiedRun};
+pub use array::{Array, ArrayRunner, VerifiedRun};
+pub use federation::{
+    ChunkPlacement, Federation, FederationBuilder, FederationConfig, FederationError,
+    FederationReport, FederationRun, FederationStats, LaggardPolicy, VolumeMapper, VolumeSpec,
+    MAX_ARRAYS,
+};
 pub use autonomic::{AutonomicState, AutonomicStats};
 pub use config::{
     ArrayConfig, ArrayConfigBuilder, AutonomicParams, ConfigError, FaultConfig, FaultScheduleFull,

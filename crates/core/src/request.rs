@@ -223,6 +223,10 @@ pub(crate) struct RequestState {
     pub stalled_wbuf: bool,
     pub bd: Breakdown,
     pub done: bool,
+    /// Completion instant; `SimTime::ZERO` until `done` is set. The
+    /// federation layer reads this to time volume requests spanning
+    /// several member arrays.
+    pub finish: SimTime,
 }
 
 impl RequestState {
@@ -246,6 +250,7 @@ impl RequestState {
             stalled_wbuf: false,
             bd: Breakdown::default(),
             done: false,
+            finish: SimTime::ZERO,
         }
     }
 }

@@ -153,6 +153,26 @@ impl SimulationBuilder {
         self
     }
 
+    /// Promotes this builder into a [`FederationBuilder`](crate::FederationBuilder)
+    /// over `arrays` member arrays, carrying the configuration, mode,
+    /// and recorder accumulated so far. The default volume stripes
+    /// (unreplicated) across all members; override with
+    /// [`FederationBuilder::volume`](crate::FederationBuilder::volume).
+    ///
+    /// Tenant bindings do not carry over — a federation replays one
+    /// volume-level trace (whose requests may still be tenant-stamped).
+    pub fn with_federation(self, arrays: u32) -> crate::FederationBuilder {
+        crate::FederationBuilder {
+            base: self.config,
+            mode: self.mode,
+            trace: self.trace,
+            arrays,
+            volume: crate::VolumeSpec::striped(arrays),
+            policy: crate::LaggardPolicy::default(),
+            fault_overrides: Vec::new(),
+        }
+    }
+
     /// Binds `trace` to `tenant`: every request in the stream is
     /// re-stamped as owned by that tenant, and at
     /// [`build`](SimulationBuilder::build) time all bound streams are

@@ -348,6 +348,65 @@ pub enum TraceEventKind {
         /// Wall-clock rebuild duration, ns.
         dur_ns: Nanos,
     },
+    /// A federated volume fragment was routed to a member array
+    /// (cross-array hop through the volume manager).
+    FederationHop {
+        /// Volume-level request id (trace index).
+        req: u32,
+        /// Member array the fragment was routed to.
+        array: u32,
+        /// Replica copy the fragment addressed.
+        copy: u32,
+    },
+    /// A member array's cumulative p99 lagged the federation budget
+    /// (the inter-array Eq. 3 analogue fired).
+    FederationLaggard {
+        /// The lagging member array.
+        array: u32,
+        /// Its observed p99, ns.
+        p99_ns: Nanos,
+        /// The federation SLA budget it violated, ns.
+        budget_ns: Nanos,
+    },
+    /// An inter-array chunk migration began (shadow clone to a peer).
+    FederationMigrationBegin {
+        /// Volume chunk being cloned.
+        chunk: u64,
+        /// Source member array.
+        from_array: u32,
+        /// Destination member array.
+        to_array: u32,
+        /// Pages in the chunk.
+        pages: u64,
+    },
+    /// An inter-array migration committed: the clone is fully durable on
+    /// the peer and the mapper now reads the new placement.
+    FederationMigrationCommit {
+        /// The migrated volume chunk.
+        chunk: u64,
+        /// Source member array.
+        from_array: u32,
+        /// Destination member array.
+        to_array: u32,
+    },
+    /// An inter-array migration aborted (clone I/O lost, e.g. to a power
+    /// cut); the source placement stays live.
+    FederationMigrationAbort {
+        /// The chunk whose clone was discarded.
+        chunk: u64,
+        /// Source member array.
+        from_array: u32,
+        /// Destination member array.
+        to_array: u32,
+    },
+    /// A read fragment lost to an array failure was re-issued against a
+    /// surviving replica.
+    FederationRetry {
+        /// Volume-level request id.
+        req: u32,
+        /// The surviving array the retry was routed to.
+        array: u32,
+    },
 }
 
 impl TraceEventKind {
@@ -373,7 +432,13 @@ impl TraceEventKind {
             | JournalCheckpoint { .. }
             | JournalReplay { .. }
             | RebuildStart { .. }
-            | RebuildDone { .. } => TraceCategory::Recovery,
+            | RebuildDone { .. }
+            | FederationRetry { .. } => TraceCategory::Recovery,
+            FederationHop { .. } => TraceCategory::Lifecycle,
+            FederationLaggard { .. } => TraceCategory::Autonomic,
+            FederationMigrationBegin { .. }
+            | FederationMigrationCommit { .. }
+            | FederationMigrationAbort { .. } => TraceCategory::Migration,
         }
     }
 
@@ -404,6 +469,12 @@ impl TraceEventKind {
             JournalReplay { .. } => "journal_replay",
             RebuildStart { .. } => "rebuild_start",
             RebuildDone { .. } => "rebuild_done",
+            FederationHop { .. } => "federation_hop",
+            FederationLaggard { .. } => "federation_laggard",
+            FederationMigrationBegin { .. } => "federation_migration_begin",
+            FederationMigrationCommit { .. } => "federation_migration_commit",
+            FederationMigrationAbort { .. } => "federation_migration_abort",
+            FederationRetry { .. } => "federation_retry",
         }
     }
 
@@ -506,6 +577,48 @@ impl TraceEventKind {
             RebuildStart { pages } => vec![("pages", *pages)],
             RebuildDone { pages, dur_ns } => {
                 vec![("pages", *pages), ("dur_ns", *dur_ns)]
+            }
+            FederationHop { req, array, copy } => vec![
+                ("req", *req as u64),
+                ("array", *array as u64),
+                ("copy", *copy as u64),
+            ],
+            FederationLaggard {
+                array,
+                p99_ns,
+                budget_ns,
+            } => vec![
+                ("array", *array as u64),
+                ("p99_ns", *p99_ns),
+                ("budget_ns", *budget_ns),
+            ],
+            FederationMigrationBegin {
+                chunk,
+                from_array,
+                to_array,
+                pages,
+            } => vec![
+                ("chunk", *chunk),
+                ("from_array", *from_array as u64),
+                ("to_array", *to_array as u64),
+                ("pages", *pages),
+            ],
+            FederationMigrationCommit {
+                chunk,
+                from_array,
+                to_array,
+            }
+            | FederationMigrationAbort {
+                chunk,
+                from_array,
+                to_array,
+            } => vec![
+                ("chunk", *chunk),
+                ("from_array", *from_array as u64),
+                ("to_array", *to_array as u64),
+            ],
+            FederationRetry { req, array } => {
+                vec![("req", *req as u64), ("array", *array as u64)]
             }
         }
     }

@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 
 use triple_a::core::{
-    Array, ArrayConfig, IoOp, ManagementMode, TenantId, TenantSpec, Trace, TraceRequest,
-    WeightedArbiter,
+    Array, ArrayConfig, IoOp, LaggardPolicy, ManagementMode, Simulation, TenantId, TenantSpec,
+    Trace, TraceRequest, VolumeMapper, VolumeSpec, WeightedArbiter,
 };
 use triple_a::ftl::LogicalPage;
 use triple_a::sim::SimTime;
@@ -176,5 +176,133 @@ proptest! {
         let per_lane: u64 = part.tenant_stats().iter().map(|t| t.completed).sum();
         prop_assert_eq!(per_lane, part.completed());
         prop_assert_eq!(part.tenant_stats().len(), k);
+    }
+
+    /// The volume address map's home placement is a bijection from
+    /// chunks onto each copy group's `(array, local_chunk)` space, for
+    /// arbitrary stripe/chunk/replica geometry — no two chunks collide,
+    /// every placement inverts back, and copies never share an array.
+    #[test]
+    fn volume_home_placement_is_a_bijection(
+        width in 1u32..7,
+        replicas in 1u32..4,
+        chunk_pages in 1u64..65,
+        chunks in 1u64..300,
+    ) {
+        let m = VolumeMapper::from_geometry(width, replicas, chunk_pages, chunks);
+        for copy in 0..replicas {
+            let mut seen = std::collections::BTreeSet::new();
+            for chunk in 0..chunks {
+                let p = m.home(copy, chunk);
+                // Copy j lives in its own array group [jW, (j+1)W).
+                prop_assert_eq!(p.array / width, copy);
+                prop_assert!(p.local_chunk < m.rows());
+                prop_assert!(
+                    seen.insert((p.array, p.local_chunk)),
+                    "copy {} chunk {} collided", copy, chunk
+                );
+                prop_assert_eq!(
+                    m.home_inverse(p.array, p.local_chunk),
+                    Some((copy, chunk))
+                );
+            }
+        }
+        // The copies of one chunk land on `replicas` distinct arrays.
+        for chunk in 0..chunks {
+            let holders = m.holders(chunk);
+            let distinct: std::collections::BTreeSet<_> = holders.iter().collect();
+            prop_assert_eq!(distinct.len(), replicas as usize);
+        }
+    }
+
+    /// Fragmenting an arbitrary `[lpn, lpn + pages)` run tiles it
+    /// exactly: fragments are contiguous, in order, chunk-bounded, and
+    /// their local LPNs stay inside the owning local chunk.
+    #[test]
+    fn volume_fragments_tile_the_request(
+        width in 1u32..7,
+        replicas in 1u32..4,
+        chunk_pages in 1u64..65,
+        chunks in 1u64..300,
+        lpn_seed in 0u64..u64::MAX,
+        pages in 1u32..129,
+    ) {
+        let m = VolumeMapper::from_geometry(width, replicas, chunk_pages, chunks);
+        let pages = pages.min(m.volume_pages() as u32);
+        let lpn = lpn_seed % (m.volume_pages() - pages as u64 + 1);
+        let frags = m.fragments(LogicalPage(lpn), pages);
+        let mut next = lpn;
+        for f in &frags {
+            prop_assert_eq!(f.chunk * chunk_pages + f.offset, next, "contiguous");
+            prop_assert!(f.offset + f.pages as u64 <= chunk_pages, "chunk-bounded");
+            for copy in 0..replicas {
+                let p = m.placement(copy, f.chunk);
+                let local = m.local_lpn(p, f.offset).0;
+                prop_assert_eq!(local / chunk_pages, p.local_chunk);
+            }
+            next += f.pages as u64;
+        }
+        prop_assert_eq!(next, lpn + pages as u64, "tiles the whole run");
+    }
+}
+
+/// A random, volume-bounded request stream for federation runs.
+fn arb_volume_trace(volume_pages: u64) -> impl Strategy<Value = Trace> {
+    let req = (
+        0u64..2_000,
+        1u32..9,
+        0u64..volume_pages,
+        prop::bool::weighted(0.7),
+    )
+        .prop_map(move |(at_us, pages, slot, is_read)| {
+            let lpn = slot.min(volume_pages - pages as u64);
+            TraceRequest::new(
+                SimTime::from_us(at_us),
+                if is_read { IoOp::Read } else { IoOp::Write },
+                LogicalPage(lpn),
+                pages,
+            )
+        });
+    prop::collection::vec(req, 1..120).prop_map(Trace::new)
+}
+
+proptest! {
+    // Federation runs simulate several member arrays per case; keep the
+    // case count low so the suite stays quick.
+    #![proptest_config(ProptestConfig {
+        cases: 6,
+        .. ProptestConfig::default()
+    })]
+
+    /// Partitioning one volume across more (or replicated) member
+    /// arrays must not change how much work completes: the federation
+    /// front door re-routes fragments, never loses or invents requests.
+    #[test]
+    fn federation_completions_invariant_to_array_partitioning(
+        trace in arb_volume_trace(4_096),
+    ) {
+        let off = LaggardPolicy { sla_p99_ns: 0, ..LaggardPolicy::default() };
+        for (width, replicas) in [(1u32, 1u32), (2, 1), (4, 1), (2, 2)] {
+            let fed = Simulation::builder()
+                .mode(ManagementMode::Autonomic)
+                .with_federation(width * replicas)
+                .volume(
+                    VolumeSpec::replicated(width, replicas)
+                        .chunk_pages(16)
+                        .volume_pages(4_096),
+                )
+                .policy(off)
+                .build()
+                .expect("federation geometry validates");
+            let run = fed.run_verified(&trace);
+            prop_assert!(run.integrity.is_ok());
+            let s = &run.report.stats;
+            prop_assert_eq!(s.completed, trace.len() as u64,
+                "{}x{}: completions drifted", width, replicas);
+            prop_assert_eq!(s.lost_requests, 0u64);
+            // Member completions sum to the fragment count.
+            let member: u64 = run.report.arrays.iter().map(|r| r.completed()).sum();
+            prop_assert_eq!(member, s.fragments);
+        }
     }
 }

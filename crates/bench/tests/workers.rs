@@ -1,0 +1,46 @@
+//! End-to-end worker plumbing: the `bench --workers N` override routes
+//! the baseline experiment configuration onto the conservative sharded
+//! executor, and the simulated outcome is invariant to `N`.
+//!
+//! Runs as its own test binary because the override is process-global
+//! state — here nothing else touches it, so setting and clearing it is
+//! race-free. CI additionally byte-compares full `bench all --workers 1`
+//! vs `--workers 8` artifact trees through the real CLI.
+
+use triplea_bench::{bench_config, overload_gap_ns, set_worker_override, worker_override};
+use triplea_core::{Array, ManagementMode, RunReport};
+use triplea_workloads::Microbench;
+
+fn run_baseline() -> RunReport {
+    let cfg = bench_config();
+    let trace = Microbench::read()
+        .hot_clusters(4)
+        .requests(2_000)
+        .gap_ns(overload_gap_ns(&cfg, 4))
+        .build(&cfg, 7);
+    Array::new(cfg, ManagementMode::Autonomic).run(&trace)
+}
+
+#[test]
+fn override_routes_workers_and_changes_no_simulated_outcome() {
+    assert_eq!(worker_override(), None, "override starts unset");
+    assert_eq!(bench_config().workers, None);
+
+    set_worker_override(1);
+    assert_eq!(bench_config().workers, Some(1));
+    let one = run_baseline();
+
+    set_worker_override(8);
+    assert_eq!(worker_override(), Some(8));
+    let eight = run_baseline();
+
+    assert_eq!(
+        one, eight,
+        "sharded baseline run must be invariant to the worker count"
+    );
+    assert_eq!(one.completed(), 2_000);
+
+    set_worker_override(0);
+    assert_eq!(worker_override(), None, "0 restores the serial default");
+    assert_eq!(bench_config().workers, None);
+}

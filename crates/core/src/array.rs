@@ -31,7 +31,7 @@ const TLP_OVERHEAD: u64 = 24;
 
 /// Weyl constant used to derive per-component fault RNG streams from
 /// the one master seed.
-const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+pub(crate) const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// Transient-read retries before falling back to a fault-immune recovery
 /// read. Every failed attempt burns the die slot it reserved, so each
@@ -291,7 +291,7 @@ impl FrontDoor {
     }
 }
 
-struct Engine {
+pub(crate) struct Engine {
     cfg: ArrayConfig,
     mode: ManagementMode,
     ftl: Ftl,
@@ -348,6 +348,11 @@ struct Engine {
     recorder: Option<SharedRecorder>,
     /// Pre-interned metric handles; `Some` exactly when `recorder` is.
     metric_ids: Option<Box<EngineMetrics>>,
+    /// Completions recorded for the sharded executor: `(request id,
+    /// completion instant, breakdown)` per completion, in completion
+    /// order. `None` — the default — skips the bookkeeping entirely, so
+    /// serial runs stay byte-identical.
+    completion_log: Option<Vec<(u32, SimTime, Breakdown)>>,
 }
 
 /// The outcome of [`Array::run_verified`]: the performance report, the
@@ -405,6 +410,14 @@ impl Array {
     /// validation gate; a hand-assembled [`FaultConfig`](crate::FaultConfig)
     /// must not crash the simulator.
     pub fn new(cfg: ArrayConfig, mode: ManagementMode) -> Self {
+        Array {
+            e: Self::build_engine(cfg, mode),
+        }
+    }
+
+    /// Builds the engine shared by [`Array::new`] and the sharded
+    /// executor's per-domain instances (`crate::shard`).
+    pub(crate) fn build_engine(cfg: ArrayConfig, mode: ManagementMode) -> Engine {
         let topo = cfg.shape.topology;
         let mut clusters: Vec<ClusterState> = topo
             .iter_clusters()
@@ -428,45 +441,44 @@ impl Array {
                 checkpoint_every: pl.checkpoint_every,
             });
         }
-        Array {
-            e: Engine {
-                ftl,
-                rc: RootComplex::new(&cfg.pcie),
-                switches,
-                clusters,
-                auto: AutonomicState::new(cfg.autonomic, cfg.seed),
-                front: FrontDoor::new(&cfg),
-                reqs: Vec::new(),
-                relocs: Vec::new(),
-                mig_dst: Vec::new(),
-                queue: EventQueue::new(),
-                completed: 0,
-                reads_done: 0,
-                writes_done: 0,
-                first_submit: SimTime::MAX,
-                last_complete: SimTime::ZERO,
-                lat: Histogram::new(),
-                rlat: Histogram::new(),
-                wlat: Histogram::new(),
-                bd_sum: Breakdown::default(),
-                attr_link: 0,
-                attr_storage: 0,
-                series: TimeSeries::new(),
-                events: 0,
-                foreign_pages: 0,
-                dropped_writes: 0,
-                faults: FaultStats::default(),
-                recovery: RecoveryStats::default(),
-                power_loss: cfg.faults.power_loss,
-                rebuilds: Vec::new(),
-                degraded_lat: Histogram::new(),
-                retired_fimms: Vec::new(),
-                trace: TracePort::off(),
-                recorder: None,
-                metric_ids: None,
-                mode,
-                cfg,
-            },
+        Engine {
+            ftl,
+            rc: RootComplex::new(&cfg.pcie),
+            switches,
+            clusters,
+            auto: AutonomicState::new(cfg.autonomic, cfg.seed),
+            front: FrontDoor::new(&cfg),
+            reqs: Vec::new(),
+            relocs: Vec::new(),
+            mig_dst: Vec::new(),
+            queue: EventQueue::new(),
+            completed: 0,
+            reads_done: 0,
+            writes_done: 0,
+            first_submit: SimTime::MAX,
+            last_complete: SimTime::ZERO,
+            lat: Histogram::new(),
+            rlat: Histogram::new(),
+            wlat: Histogram::new(),
+            bd_sum: Breakdown::default(),
+            attr_link: 0,
+            attr_storage: 0,
+            series: TimeSeries::new(),
+            events: 0,
+            foreign_pages: 0,
+            dropped_writes: 0,
+            faults: FaultStats::default(),
+            recovery: RecoveryStats::default(),
+            power_loss: cfg.faults.power_loss,
+            rebuilds: Vec::new(),
+            degraded_lat: Histogram::new(),
+            retired_fimms: Vec::new(),
+            trace: TracePort::off(),
+            recorder: None,
+            metric_ids: None,
+            completion_log: None,
+            mode,
+            cfg,
         }
     }
 
@@ -588,6 +600,9 @@ impl Array {
     ///
     /// Same conditions as [`Array::run`].
     pub fn run_verified(mut self, trace: &Trace) -> VerifiedRun {
+        if let Some(sharded) = self.try_shard() {
+            return sharded.run_verified(trace);
+        }
         let total_pages = self.e.cfg.shape.total_pages();
         let n_tenants = self.e.cfg.tenants.len();
         for (i, r) in trace.requests().iter().enumerate() {
@@ -640,11 +655,35 @@ impl Array {
     /// single-array fast path and is byte-identical to previous
     /// releases.
     pub fn into_runner(mut self) -> ArrayRunner {
+        if let Some(sharded) = self.try_shard() {
+            return ArrayRunner {
+                d: RunnerDriver::Sharded(sharded),
+                submitted: 0,
+            };
+        }
         self.e.arm_recovery();
         ArrayRunner {
-            e: self.e,
+            d: RunnerDriver::Serial(Box::new(self.e)),
             submitted: 0,
         }
+    }
+
+    /// The sharded executor for this array, when the configuration opts
+    /// in (`workers` set) *and* qualifies. Recorded runs and feature
+    /// combinations the conservative partition cannot express (faults,
+    /// tenants, hot spares, a shared mapping cache, single-switch
+    /// topologies, a zero-latency root complex) fall back to the serial
+    /// engine — same results, one worker.
+    fn try_shard(&self) -> Option<Box<crate::shard::ShardedEngine>> {
+        let w = self.e.cfg.workers?;
+        if self.e.recorder.is_some() || !crate::shard::eligible(&self.e.cfg) {
+            return None;
+        }
+        Some(crate::shard::ShardedEngine::new(
+            self.e.cfg.clone(),
+            self.e.mode,
+            w,
+        ))
     }
 }
 
@@ -655,24 +694,42 @@ impl Array {
 /// `federation` module). Event handling is identical to
 /// [`Array::run_verified`]; only the driver differs.
 pub struct ArrayRunner {
-    e: Engine,
+    d: RunnerDriver,
     submitted: u64,
+}
+
+/// How an [`ArrayRunner`] executes events: the legacy single-threaded
+/// engine, or the conservative sharded executor (`crate::shard`) when
+/// the configuration asked for workers and qualifies.
+enum RunnerDriver {
+    Serial(Box<Engine>),
+    Sharded(Box<crate::shard::ShardedEngine>),
 }
 
 impl std::fmt::Debug for ArrayRunner {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ArrayRunner")
-            .field("mode", &self.e.mode)
+            .field("mode", &self.mode())
             .field("submitted", &self.submitted)
-            .field("completed", &self.e.completed)
+            .field("completed", &self.completed())
             .finish()
     }
 }
 
 impl ArrayRunner {
+    fn mode(&self) -> ManagementMode {
+        match &self.d {
+            RunnerDriver::Serial(e) => e.mode,
+            RunnerDriver::Sharded(s) => s.mode(),
+        }
+    }
+
     /// The configuration in force.
     pub fn config(&self) -> &ArrayConfig {
-        &self.e.cfg
+        match &self.d {
+            RunnerDriver::Serial(e) => &e.cfg,
+            RunnerDriver::Sharded(s) => s.config(),
+        }
     }
 
     /// Injects one request, returning its id for later
@@ -685,8 +742,9 @@ impl ArrayRunner {
     /// tenant inside the configured table. The submission time must not
     /// be earlier than any instant already stepped past.
     pub fn submit(&mut self, r: &crate::request::TraceRequest) -> u32 {
-        let total_pages = self.e.cfg.shape.total_pages();
-        let n_tenants = self.e.cfg.tenants.len();
+        let cfg = self.config();
+        let total_pages = cfg.shape.total_pages();
+        let n_tenants = cfg.tenants.len();
         assert!(r.pages >= 1, "request has zero pages");
         assert!(
             r.lpn.0 + r.pages as u64 <= total_pages,
@@ -697,30 +755,39 @@ impl ArrayRunner {
             "request names {} but the config has {n_tenants} tenants",
             r.tenant
         );
-        let id = self.e.reqs.len() as u32;
-        self.e.reqs.push(RequestState::new(r));
-        self.e.queue.push(r.at, Ev::Submit(id));
-        self.e.first_submit = self.e.first_submit.min(r.at);
         self.submitted += 1;
-        id
+        match &mut self.d {
+            RunnerDriver::Serial(e) => {
+                let id = e.reqs.len() as u32;
+                e.reqs.push(RequestState::new(r));
+                e.queue.push(r.at, Ev::Submit(id));
+                e.first_submit = e.first_submit.min(r.at);
+                id
+            }
+            RunnerDriver::Sharded(s) => s.submit(r),
+        }
     }
 
     /// Drains every event strictly before `t`, exactly as the
     /// [`Array::run_verified`] loop would (including the recorder-clock
     /// bookkeeping on traced runs).
     pub fn step_until(&mut self, t: SimTime) {
-        if let Some(rec) = self.e.recorder.clone() {
-            while self.e.queue.peek_time().is_some_and(|pt| pt < t) {
-                let (now, ev) = self.e.queue.pop().expect("peeked event present");
+        let e = match &mut self.d {
+            RunnerDriver::Serial(e) => e,
+            RunnerDriver::Sharded(s) => return s.step_until(t),
+        };
+        if let Some(rec) = e.recorder.clone() {
+            while e.queue.peek_time().is_some_and(|pt| pt < t) {
+                let (now, ev) = e.queue.pop().expect("peeked event present");
                 rec.set_now(now);
-                self.e.events += 1;
-                self.e.handle(now, ev);
+                e.events += 1;
+                e.handle(now, ev);
             }
         } else {
-            while self.e.queue.peek_time().is_some_and(|pt| pt < t) {
-                let (now, ev) = self.e.queue.pop().expect("peeked event present");
-                self.e.events += 1;
-                self.e.handle(now, ev);
+            while e.queue.peek_time().is_some_and(|pt| pt < t) {
+                let (now, ev) = e.queue.pop().expect("peeked event present");
+                e.events += 1;
+                e.handle(now, ev);
             }
         }
     }
@@ -728,7 +795,10 @@ impl ArrayRunner {
     /// `true` when the event calendar is empty (every injected request
     /// has either completed or been lost to a power cut).
     pub fn is_idle(&self) -> bool {
-        self.e.queue.is_empty()
+        match &self.d {
+            RunnerDriver::Serial(e) => e.queue.is_empty(),
+            RunnerDriver::Sharded(s) => s.is_idle(),
+        }
     }
 
     /// Requests injected so far.
@@ -738,50 +808,87 @@ impl ArrayRunner {
 
     /// Requests completed so far.
     pub fn completed(&self) -> u64 {
-        self.e.completed
+        match &self.d {
+            RunnerDriver::Serial(e) => e.completed,
+            RunnerDriver::Sharded(s) => s.completed(),
+        }
     }
 
     /// In-flight requests lost to a power cut so far.
     pub fn lost(&self) -> u64 {
-        self.e.recovery.lost_inflight_requests
+        match &self.d {
+            RunnerDriver::Serial(e) => e.recovery.lost_inflight_requests,
+            // Power loss disqualifies a config from sharding, so a
+            // sharded runner can never lose a request.
+            RunnerDriver::Sharded(_) => 0,
+        }
     }
 
     /// Cumulative 99th-percentile completion latency, ns (0 until the
     /// first completion).
     pub fn p99_ns(&self) -> u64 {
-        self.e.lat.percentile(0.99)
+        match &self.d {
+            RunnerDriver::Serial(e) => e.lat.percentile(0.99),
+            RunnerDriver::Sharded(s) => s.p99_ns(),
+        }
     }
 
     /// `true` once request `id` has completed.
     pub fn is_done(&self, id: u32) -> bool {
-        self.e.reqs[id as usize].done
+        match &self.d {
+            RunnerDriver::Serial(e) => e.reqs[id as usize].done,
+            RunnerDriver::Sharded(s) => s.is_done(id),
+        }
     }
 
     /// `true` when request `id` was in flight at a power cut and will
     /// never complete (its completion callback died with the calendar).
     pub fn is_lost(&self, id: u32) -> bool {
-        let rs = &self.e.reqs[id as usize];
-        !rs.done && rs.stage == Stage::Done
+        match &self.d {
+            RunnerDriver::Serial(e) => {
+                let rs = &e.reqs[id as usize];
+                !rs.done && rs.stage == Stage::Done
+            }
+            RunnerDriver::Sharded(_) => false,
+        }
     }
 
     /// Completion instant of request `id` ([`SimTime::ZERO`] until it
     /// completes).
     pub fn finish_time(&self, id: u32) -> SimTime {
-        self.e.reqs[id as usize].finish
+        match &self.d {
+            RunnerDriver::Serial(e) => e.reqs[id as usize].finish,
+            RunnerDriver::Sharded(s) => s.finish_time(id),
+        }
     }
 
     /// Drains every remaining event, audits FTL metadata integrity, and
     /// produces the run outcome — the incremental equivalent of the tail
     /// of [`Array::run_verified`].
-    pub fn finish(mut self) -> VerifiedRun {
-        self.step_until(SimTime::MAX);
-        if self.e.first_submit == SimTime::MAX {
-            self.e.first_submit = SimTime::ZERO;
+    pub fn finish(self) -> VerifiedRun {
+        let mut e = match self.d {
+            RunnerDriver::Serial(e) => e,
+            RunnerDriver::Sharded(s) => return s.finish(),
+        };
+        if let Some(rec) = e.recorder.clone() {
+            while let Some((now, ev)) = e.queue.pop() {
+                rec.set_now(now);
+                e.events += 1;
+                e.handle(now, ev);
+            }
+        } else {
+            while let Some((now, ev)) = e.queue.pop() {
+                e.events += 1;
+                e.handle(now, ev);
+            }
         }
-        let integrity = self.e.ftl.verify_integrity();
-        let run_trace = self.e.harvest_trace();
+        if e.first_submit == SimTime::MAX {
+            e.first_submit = SimTime::ZERO;
+        }
+        let integrity = e.ftl.verify_integrity();
+        let run_trace = e.harvest_trace();
         VerifiedRun {
-            report: self.e.into_report(),
+            report: e.into_report(),
             trace: run_trace,
             integrity,
         }
@@ -814,6 +921,58 @@ impl Engine {
 
     fn cluster_global(&self, id: ClusterId) -> u32 {
         self.cfg.shape.topology.global_index(id)
+    }
+
+    // ---- sharded-executor hooks (`crate::shard`) -------------------
+    //
+    // A domain engine is an ordinary `Engine` over the full global
+    // address space, driven in bounded windows instead of to
+    // completion. These methods are the entire surface the conservative
+    // executor needs; none of them is reachable from a serial run, so
+    // the legacy paths stay byte-identical.
+
+    /// Enqueues one validated request (the sharded root validates
+    /// before dispatching), returning its engine-local id.
+    pub(crate) fn inject(&mut self, r: &crate::request::TraceRequest) -> u32 {
+        let id = self.reqs.len() as u32;
+        self.reqs.push(RequestState::new(r));
+        self.queue.push(r.at, Ev::Submit(id));
+        self.first_submit = self.first_submit.min(r.at);
+        id
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub(crate) fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Drains every event strictly before `horizon`, exactly as the
+    /// [`Array::run_verified`] loop would.
+    pub(crate) fn process_until(&mut self, horizon: SimTime) {
+        while self.queue.peek_time().is_some_and(|pt| pt < horizon) {
+            let (now, ev) = self.queue.pop().expect("peeked event present");
+            self.events += 1;
+            self.handle(now, ev);
+        }
+    }
+
+    /// Starts recording `(request id, completion instant, breakdown)`
+    /// per completion for [`Engine::drain_completions`].
+    pub(crate) fn enable_completion_log(&mut self) {
+        self.completion_log = Some(Vec::new());
+    }
+
+    /// Moves every completion recorded since the last drain into
+    /// `sink`, preserving completion order and both buffers' capacity.
+    pub(crate) fn drain_completions(&mut self, sink: &mut Vec<(u32, SimTime, Breakdown)>) {
+        if let Some(log) = &mut self.completion_log {
+            sink.append(log);
+        }
+    }
+
+    /// The post-run FTL metadata audit ([`Ftl::verify_integrity`]).
+    pub(crate) fn check_integrity(&self) -> Result<(), IntegrityError> {
+        self.ftl.verify_integrity()
     }
 
     /// Samples one FIMM's read backlog into its queue-depth series.
@@ -2361,6 +2520,9 @@ impl Engine {
         }
         self.completed += 1;
         self.last_complete = self.last_complete.max(now);
+        if let Some(log) = &mut self.completion_log {
+            log.push((r, now, bd));
+        }
         if self.front.is_some() {
             self.record_tenant_complete(r, total);
             self.pump_tenants(now);
@@ -2456,7 +2618,7 @@ impl Engine {
         Some(RunTrace::from_recorder(&rec.snapshot(), m))
     }
 
-    fn into_report(mut self) -> RunReport {
+    pub(crate) fn into_report(mut self) -> RunReport {
         let mut wear = WearReport::default();
         // Retired modules (replaced by a hot spare mid-run) still carry
         // their wear, fault history, and scheduled-fault census.

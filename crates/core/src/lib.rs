@@ -50,6 +50,7 @@ mod config;
 mod federation;
 mod metrics;
 mod request;
+mod shard;
 mod simulation;
 mod tenant;
 

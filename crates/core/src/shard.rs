@@ -1,0 +1,710 @@
+//! Conservative sharded execution of one array simulation.
+//!
+//! Maps the generic executor in `triplea_sim::shard` onto the Triple-A
+//! topology: **one shard per PCI-E switch domain** plus a **root
+//! shard** modelling the host side of the root complex. Clusters on
+//! different switches only ever interact through the RC (§6.1: data
+//! never migrates across switches), so crossing a domain boundary
+//! always costs at least `rc_route_ns` — exactly the lookahead
+//! [`PcieParams::domain_lookahead_ns`](triplea_pcie::PcieParams::domain_lookahead_ns)
+//! reports, and exactly what lets every domain simulate `[t, t + L)`
+//! without hearing from its peers.
+//!
+//! # Division of labour
+//!
+//! The **root shard** owns everything host-side of the RC routing hop:
+//! the global RC credit queue, per-request submit/grant/complete times,
+//! and every completion-side accumulator (latency histograms,
+//! breakdown sums, contention attribution, the latency time-series).
+//! It dispatches an admitted request to the domain owning the
+//! request's first page one `rc_route_ns` later.
+//!
+//! Each **domain shard** wraps a full [`Engine`] over the *global*
+//! address space whose config zeroes `rc_route_ns` (its local RC is a
+//! pass-through — the real hop already happened on the wire between
+//! shards). Requests arrive as [`XMsg::Dispatch`] envelopes, run the
+//! ordinary switch → endpoint → flash pipeline, and return their
+//! completion one `rc_route_ns` after the domain-side response instant
+//! — landing at the identical global time the serial engine would have
+//! completed them.
+//!
+//! # What this is, and is not
+//!
+//! Sharded results are deterministic and **invariant to the worker
+//! count** — that is the contract CI enforces. They are *not*
+//! byte-identical to the serial engine: the partition gives each
+//! domain its own FTL/autonomic state and its own RNG stream, the same
+//! kind of divergence any real per-domain firmware would show. Golden
+//! artifacts therefore always come from configs that never set
+//! `workers`, which take the untouched serial path.
+
+use triplea_flash::WearReport;
+use triplea_ftl::{FtlStats, IntegrityError, LogicalPage};
+use triplea_pcie::{Admission, CreditQueue};
+use triplea_sim::shard::{run_conservative, Envelope, Outbox, Shard, ShardRunStats};
+use triplea_sim::stats::{Histogram, TimeSeries};
+use triplea_sim::{EventQueue, Nanos, SimTime};
+
+use crate::array::{Array, Engine, VerifiedRun, GOLDEN};
+use crate::autonomic::AutonomicStats;
+use crate::config::{ArrayConfig, ManagementMode};
+use crate::metrics::{FaultStats, RecoveryStats, RunReport};
+use crate::request::{Breakdown, IoOp, Trace, TraceRequest};
+
+/// `true` when `cfg` can run under the conservative domain partition.
+///
+/// The gate is a pure function of the configuration — never of the
+/// trace or the worker count — so a config either always shards or
+/// always falls back, and results stay worker-count-invariant.
+/// Disqualifiers: any armed fault (fault RNG streams and power-loss
+/// recovery are defined over the single global engine), tenants (the
+/// weighted front door arbitrates globally at sub-lookahead
+/// granularity), hot spares, a shared mapping cache (one cache would
+/// be modelled as per-domain copies), a single-switch topology
+/// (nothing to partition), and a zero RC routing latency (no
+/// lookahead).
+pub(crate) fn eligible(cfg: &ArrayConfig) -> bool {
+    cfg.faults.is_quiet()
+        && !cfg.tenants.is_active()
+        && cfg.hot_spares == 0
+        && cfg.mapping_cache_pages == 0
+        && cfg.shape.topology.switches > 1
+        && cfg.pcie.domain_lookahead_ns() > 0
+}
+
+/// Cross-shard message: the only traffic between the root and domains.
+#[derive(Clone, Copy, Debug)]
+enum XMsg {
+    /// Root → domain: an admitted request, arriving at the switch side
+    /// of the RC routing hop.
+    Dispatch {
+        /// Root-side request id.
+        req: u32,
+        op: IoOp,
+        lpn: u64,
+        pages: u32,
+    },
+    /// Domain → root: a finished request, arriving back at the host
+    /// side of the RC routing hop.
+    Return { req: u32, bd: Breakdown },
+}
+
+/// Root-shard event calendar entries.
+#[derive(Clone, Copy, Debug)]
+enum RootEv {
+    /// Host submits request `id` (trace arrival).
+    Submit(u32),
+    /// Completion envelope for `req` matured at its arrival time.
+    Return { req: u32, bd: Breakdown },
+}
+
+/// Host-side per-request state: enough to time the request and rebuild
+/// the serial engine's completion accounting from the returned
+/// [`Breakdown`].
+#[derive(Clone, Copy, Debug)]
+struct RootReq {
+    op: IoOp,
+    lpn: u64,
+    pages: u32,
+    submit: SimTime,
+    /// When the RC credit was granted; `rc_stall = granted - submit`.
+    granted: SimTime,
+    finish: SimTime,
+    done: bool,
+}
+
+/// The host + root-complex shard (shard index 0).
+struct RootNode {
+    rc: CreditQueue,
+    rc_route: Nanos,
+    pages_per_cluster: u64,
+    clusters_per_switch: u32,
+    collect_series: bool,
+    queue: EventQueue<RootEv>,
+    reqs: Vec<RootReq>,
+    // Completion-side accumulators, mirroring the serial engine's.
+    completed: u64,
+    reads_done: u64,
+    writes_done: u64,
+    first_submit: SimTime,
+    last_complete: SimTime,
+    lat: Histogram,
+    rlat: Histogram,
+    wlat: Histogram,
+    bd_sum: Breakdown,
+    attr_link: u64,
+    attr_storage: u64,
+    series: TimeSeries,
+    events: u64,
+}
+
+impl RootNode {
+    fn new(cfg: &ArrayConfig) -> Self {
+        RootNode {
+            rc: CreditQueue::new("rc", cfg.pcie.rc_queue),
+            rc_route: cfg.pcie.rc_route_ns,
+            pages_per_cluster: cfg.shape.pages_per_cluster(),
+            clusters_per_switch: cfg.shape.topology.clusters_per_switch,
+            collect_series: cfg.collect_series,
+            queue: EventQueue::new(),
+            reqs: Vec::new(),
+            completed: 0,
+            reads_done: 0,
+            writes_done: 0,
+            first_submit: SimTime::MAX,
+            last_complete: SimTime::ZERO,
+            lat: Histogram::new(),
+            rlat: Histogram::new(),
+            wlat: Histogram::new(),
+            bd_sum: Breakdown::default(),
+            attr_link: 0,
+            attr_storage: 0,
+            series: TimeSeries::new(),
+            events: 0,
+        }
+    }
+
+    /// Shard index (1 + switch) owning `lpn`'s statically striped
+    /// cluster. Migrations never cross switches, so whatever cluster a
+    /// page currently lives on, its *switch* is static.
+    fn shard_of(&self, lpn: u64) -> usize {
+        let cluster = lpn / self.pages_per_cluster;
+        1 + (cluster / self.clusters_per_switch as u64) as usize
+    }
+
+    /// Grants the RC credit to request `i` at `now` and ships it to its
+    /// domain, one routing hop later — the same instant the serial
+    /// engine would schedule its `SwAdmit`.
+    fn grant(&mut self, now: SimTime, i: u32, out: &mut Outbox<XMsg>) {
+        let rs = &mut self.reqs[i as usize];
+        rs.granted = now;
+        let dst = self.shard_of(self.reqs[i as usize].lpn);
+        let rs = &self.reqs[i as usize];
+        out.send(
+            dst,
+            now + self.rc_route,
+            XMsg::Dispatch {
+                req: i,
+                op: rs.op,
+                lpn: rs.lpn,
+                pages: rs.pages,
+            },
+        );
+    }
+
+    /// Host-side completion at `now` (the instant the serial engine's
+    /// `Complete` would fire): records every completion-side statistic
+    /// the serial `on_complete` records, then re-grants the freed RC
+    /// credit.
+    fn complete(&mut self, now: SimTime, req: u32, bd: Breakdown, out: &mut Outbox<XMsg>) {
+        let rs = &mut self.reqs[req as usize];
+        debug_assert!(!rs.done, "request completed twice");
+        rs.done = true;
+        rs.finish = now;
+        let total = now - rs.submit;
+        let op = rs.op;
+        let submit = rs.submit;
+        // The domain's local RC is a zero-latency pass-through that
+        // never queues (the global root admits at most `rc_queue`
+        // requests), so the domain breakdown carries no rc_stall; the
+        // host-side wait for the credit is accounted here.
+        let mut bd = bd;
+        bd.rc_stall += rs.granted - rs.submit;
+        self.lat.record(total);
+        match op {
+            IoOp::Read => {
+                self.rlat.record(total);
+                self.reads_done += 1;
+            }
+            IoOp::Write => {
+                self.wlat.record(total);
+                self.writes_done += 1;
+            }
+        }
+        self.bd_sum.accumulate(&bd);
+        // Same root-cause decomposition as the serial engine.
+        let own_link = bd.link_contention();
+        let own_storage = bd.storage_contention();
+        let own = own_link + own_storage;
+        if own > 0 {
+            let q = bd.queue_stall() as u128;
+            self.attr_link += (q * own_link as u128 / own as u128) as u64;
+            self.attr_storage += (q * own_storage as u128 / own as u128) as u64;
+        }
+        if self.collect_series {
+            self.series.push(submit, total as f64 / 1_000.0);
+        }
+        self.completed += 1;
+        self.last_complete = self.last_complete.max(now);
+        if let Some(next) = self.rc.release() {
+            self.grant(now, next as u32, out);
+        }
+    }
+}
+
+impl Shard for RootNode {
+    type Msg = XMsg;
+
+    fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    fn run_window(&mut self, horizon: SimTime, out: &mut Outbox<XMsg>) {
+        while self.queue.peek_time().is_some_and(|t| t < horizon) {
+            let (now, ev) = self.queue.pop().expect("peeked event present");
+            self.events += 1;
+            match ev {
+                RootEv::Submit(i) => {
+                    if let Admission::Admitted = self.rc.admit(i as u64) {
+                        self.grant(now, i, out);
+                    }
+                }
+                RootEv::Return { req, bd } => self.complete(now, req, bd, out),
+            }
+        }
+    }
+
+    fn deliver(&mut self, env: Envelope<XMsg>) {
+        match env.msg {
+            XMsg::Return { req, bd } => self.queue.push(env.at, RootEv::Return { req, bd }),
+            XMsg::Dispatch { .. } => unreachable!("domains never dispatch to the root"),
+        }
+    }
+}
+
+/// One switch domain: a full engine over the global address space,
+/// driven in conservative windows.
+struct DomainNode {
+    engine: Engine,
+    /// Engine-local request id → root request id.
+    root_ids: Vec<u32>,
+    rc_route: Nanos,
+    /// Reusable completion-drain buffer.
+    scratch: Vec<(u32, SimTime, Breakdown)>,
+}
+
+impl Shard for DomainNode {
+    type Msg = XMsg;
+
+    fn next_event_time(&self) -> Option<SimTime> {
+        self.engine.next_event_time()
+    }
+
+    fn run_window(&mut self, horizon: SimTime, out: &mut Outbox<XMsg>) {
+        self.engine.process_until(horizon);
+        self.engine.drain_completions(&mut self.scratch);
+        for (local, finish, bd) in self.scratch.drain(..) {
+            // The domain's `Complete` fires at the serial engine's
+            // `RespAtRc` + 0 (its rc_route is zero); the real routing
+            // hop back to the host happens on the wire here, so the
+            // root completes at the serial engine's exact instant.
+            out.send(
+                0,
+                finish + self.rc_route,
+                XMsg::Return {
+                    req: self.root_ids[local as usize],
+                    bd,
+                },
+            );
+        }
+    }
+
+    fn deliver(&mut self, env: Envelope<XMsg>) {
+        match env.msg {
+            XMsg::Dispatch {
+                req,
+                op,
+                lpn,
+                pages,
+            } => {
+                let r = TraceRequest::new(env.at, op, LogicalPage(lpn), pages);
+                let local = self.engine.inject(&r);
+                debug_assert_eq!(local as usize, self.root_ids.len());
+                self.root_ids.push(req);
+            }
+            XMsg::Return { .. } => unreachable!("only the root receives returns"),
+        }
+    }
+}
+
+/// Either shard shape, so one executor drives both.
+enum Node {
+    Root(Box<RootNode>),
+    Domain(Box<DomainNode>),
+}
+
+impl Shard for Node {
+    type Msg = XMsg;
+
+    fn next_event_time(&self) -> Option<SimTime> {
+        match self {
+            Node::Root(n) => n.next_event_time(),
+            Node::Domain(n) => n.next_event_time(),
+        }
+    }
+
+    fn run_window(&mut self, horizon: SimTime, out: &mut Outbox<XMsg>) {
+        match self {
+            Node::Root(n) => n.run_window(horizon, out),
+            Node::Domain(n) => n.run_window(horizon, out),
+        }
+    }
+
+    fn deliver(&mut self, env: Envelope<XMsg>) {
+        match self {
+            Node::Root(n) => n.deliver(env),
+            Node::Domain(n) => n.deliver(env),
+        }
+    }
+}
+
+/// A sharded array run: shard 0 is the root, shards `1..=switches` the
+/// domains. Built by `Array` when the config opts in (see
+/// [`eligible`]); drives the same public surface as the serial engine
+/// (`run_verified` or the incremental `ArrayRunner` protocol).
+pub(crate) struct ShardedEngine {
+    cfg: ArrayConfig,
+    mode: ManagementMode,
+    workers: usize,
+    lookahead: Nanos,
+    nodes: Vec<Node>,
+    /// Cumulative executor counters across `step_until` calls.
+    sync: ShardRunStats,
+}
+
+impl ShardedEngine {
+    pub(crate) fn new(cfg: ArrayConfig, mode: ManagementMode, workers: u32) -> Box<ShardedEngine> {
+        debug_assert!(eligible(&cfg), "caller checks eligibility");
+        let lookahead = cfg.pcie.domain_lookahead_ns();
+        let switches = cfg.shape.topology.switches;
+        let mut nodes = Vec::with_capacity(switches as usize + 1);
+        nodes.push(Node::Root(Box::new(RootNode::new(&cfg))));
+        for d in 0..switches {
+            let mut dc = cfg.clone();
+            // The RC routing hop is modelled on the wire between the
+            // root and domain shards; the domain's local RC must not
+            // charge it again.
+            dc.pcie.rc_route_ns = 0;
+            // Completion-side series are recorded by the root.
+            dc.collect_series = false;
+            dc.workers = None;
+            // Distinct deterministic RNG stream per domain manager.
+            dc.seed = cfg.seed ^ (d as u64 + 1).wrapping_mul(GOLDEN);
+            let mut engine = Array::build_engine(dc, mode);
+            engine.enable_completion_log();
+            nodes.push(Node::Domain(Box::new(DomainNode {
+                engine,
+                root_ids: Vec::new(),
+                rc_route: cfg.pcie.rc_route_ns,
+                scratch: Vec::new(),
+            })));
+        }
+        Box::new(ShardedEngine {
+            workers: workers.max(1) as usize,
+            lookahead,
+            nodes,
+            sync: ShardRunStats::default(),
+            cfg,
+            mode,
+        })
+    }
+
+    pub(crate) fn config(&self) -> &ArrayConfig {
+        &self.cfg
+    }
+
+    pub(crate) fn mode(&self) -> ManagementMode {
+        self.mode
+    }
+
+    fn root(&self) -> &RootNode {
+        match &self.nodes[0] {
+            Node::Root(r) => r,
+            Node::Domain(_) => unreachable!("shard 0 is the root"),
+        }
+    }
+
+    fn root_mut(&mut self) -> &mut RootNode {
+        match &mut self.nodes[0] {
+            Node::Root(r) => r,
+            Node::Domain(_) => unreachable!("shard 0 is the root"),
+        }
+    }
+
+    /// Enqueues one request at its arrival time; same contract as
+    /// `ArrayRunner::submit` (the caller validates).
+    pub(crate) fn submit(&mut self, r: &TraceRequest) -> u32 {
+        let root = self.root_mut();
+        let id = root.reqs.len() as u32;
+        root.reqs.push(RootReq {
+            op: r.op,
+            lpn: r.lpn.0,
+            pages: r.pages,
+            submit: r.at,
+            granted: SimTime::ZERO,
+            finish: SimTime::ZERO,
+            done: false,
+        });
+        root.queue.push(r.at, RootEv::Submit(id));
+        root.first_submit = root.first_submit.min(r.at);
+        id
+    }
+
+    /// Advances every shard conservatively until no event before `t`
+    /// remains anywhere.
+    pub(crate) fn step_until(&mut self, t: SimTime) {
+        let stats = run_conservative(&mut self.nodes, self.lookahead, self.workers, t);
+        self.sync.windows += stats.windows;
+        self.sync.messages += stats.messages;
+        self.sync.late_deliveries += stats.late_deliveries;
+        self.sync.workers = stats.workers;
+        debug_assert_eq!(stats.late_deliveries, 0, "conservative causality violated");
+    }
+
+    pub(crate) fn is_idle(&self) -> bool {
+        self.nodes.iter().all(|n| n.next_event_time().is_none())
+    }
+
+    pub(crate) fn completed(&self) -> u64 {
+        self.root().completed
+    }
+
+    pub(crate) fn p99_ns(&self) -> u64 {
+        self.root().lat.percentile(0.99)
+    }
+
+    pub(crate) fn is_done(&self, id: u32) -> bool {
+        self.root().reqs[id as usize].done
+    }
+
+    pub(crate) fn finish_time(&self, id: u32) -> SimTime {
+        self.root().reqs[id as usize].finish
+    }
+
+    /// The whole-trace fast path: validates and enqueues every request,
+    /// then runs to completion.
+    pub(crate) fn run_verified(mut self: Box<Self>, trace: &Trace) -> VerifiedRun {
+        let total_pages = self.cfg.shape.total_pages();
+        for (i, r) in trace.requests().iter().enumerate() {
+            assert!(r.pages >= 1, "request {i} has zero pages");
+            assert!(
+                r.lpn.0 + r.pages as u64 <= total_pages,
+                "request {i} exceeds the address space"
+            );
+            self.submit(r);
+        }
+        self.finish()
+    }
+
+    /// Drains everything, audits every domain's FTL metadata, and
+    /// merges the per-shard accounting into one report.
+    pub(crate) fn finish(mut self: Box<Self>) -> VerifiedRun {
+        self.step_until(SimTime::MAX);
+        let ShardedEngine {
+            cfg, mode, nodes, ..
+        } = *self;
+        let mut it = nodes.into_iter();
+        let Some(Node::Root(root)) = it.next() else {
+            unreachable!("shard 0 is the root")
+        };
+        let total_clusters = cfg.shape.topology.total_clusters() as usize;
+        let mut integrity: Result<(), IntegrityError> = Ok(());
+        let mut events = root.events;
+        let mut dropped_writes = 0u64;
+        let mut per_cluster_requests = vec![0u64; total_clusters];
+        let mut per_cluster_relocs_in = vec![0u64; total_clusters];
+        let mut autonomic = AutonomicStats::default();
+        let mut ftl = FtlStats::default();
+        let mut wear = WearReport::default();
+        let mut faults = FaultStats::default();
+        for node in it {
+            let Node::Domain(d) = node else {
+                unreachable!("shards 1.. are domains")
+            };
+            if integrity.is_ok() {
+                integrity = d.engine.check_integrity();
+            }
+            let rep = d.engine.into_report();
+            events += rep.events;
+            dropped_writes += rep.dropped_writes;
+            for (a, b) in per_cluster_requests.iter_mut().zip(&rep.per_cluster_requests) {
+                *a += b;
+            }
+            for (a, b) in per_cluster_relocs_in.iter_mut().zip(&rep.per_cluster_relocs_in) {
+                *a += b;
+            }
+            add_autonomic(&mut autonomic, &rep.autonomic);
+            add_ftl(&mut ftl, &rep.ftl);
+            add_faults(&mut faults, &rep.faults);
+            wear.merge(&rep.wear);
+        }
+        let report = RunReport {
+            mode,
+            completed: root.completed,
+            reads: root.reads_done,
+            writes: root.writes_done,
+            first_submit: if root.first_submit == SimTime::MAX {
+                SimTime::ZERO
+            } else {
+                root.first_submit
+            },
+            last_complete: root.last_complete,
+            latency: root.lat,
+            read_latency: root.rlat,
+            write_latency: root.wlat,
+            bd_sum: root.bd_sum,
+            attr_link: root.attr_link,
+            attr_storage: root.attr_storage,
+            series: root.series,
+            per_cluster_requests,
+            per_cluster_relocs_in,
+            dropped_writes,
+            autonomic,
+            ftl,
+            wear,
+            faults,
+            recovery: RecoveryStats::default(),
+            tenants: Vec::new(),
+            events,
+        };
+        VerifiedRun {
+            report,
+            trace: None,
+            integrity,
+        }
+    }
+}
+
+fn add_autonomic(a: &mut AutonomicStats, b: &AutonomicStats) {
+    a.hot_detections += b.hot_detections;
+    a.migrations_started += b.migrations_started;
+    a.migrations_completed += b.migrations_completed;
+    a.pages_migrated += b.pages_migrated;
+    a.laggard_detections += b.laggard_detections;
+    a.pages_reshaped += b.pages_reshaped;
+    a.write_redirects += b.write_redirects;
+    a.escalations += b.escalations;
+    a.no_cold_target += b.no_cold_target;
+}
+
+fn add_ftl(a: &mut FtlStats, b: &FtlStats) {
+    a.host_writes += b.host_writes;
+    a.migration_writes += b.migration_writes;
+    a.gc_writes += b.gc_writes;
+    a.invalidations += b.invalidations;
+    a.gc_erases += b.gc_erases;
+}
+
+fn add_faults(a: &mut FaultStats, b: &FaultStats) {
+    a.transient_read_faults += b.transient_read_faults;
+    a.prog_failures += b.prog_failures;
+    a.erase_failures += b.erase_failures;
+    a.blocks_retired_by_fault += b.blocks_retired_by_fault;
+    a.fimm_deaths += b.fimm_deaths;
+    a.fimm_slowdowns += b.fimm_slowdowns;
+    a.degraded_reads += b.degraded_reads;
+    a.unserviceable_reads += b.unserviceable_reads;
+    a.fault_write_redirects += b.fault_write_redirects;
+    a.tlp_replays += b.tlp_replays;
+    a.migration_rollbacks += b.migration_rollbacks;
+    a.gc_failed_erases += b.gc_failed_erases;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A mixed read/write trace spanning both switch domains of
+    /// `small_test`, including multi-page requests that straddle
+    /// cluster (and domain-region) boundaries.
+    fn cross_domain_trace(n: u64) -> Trace {
+        let cfg = ArrayConfig::small_test();
+        let total = cfg.shape.total_pages();
+        let per_cluster = cfg.shape.pages_per_cluster();
+        (0..n)
+            .map(|i| {
+                let op = if i % 3 == 0 { IoOp::Write } else { IoOp::Read };
+                // Walk the whole address space; every 7th request sits
+                // right at a cluster boundary with 4 pages, straddling
+                // into the next region.
+                let lpn = (i * 97) % (total - 4);
+                let lpn = if i % 7 == 0 {
+                    (lpn / per_cluster) * per_cluster + per_cluster - 2
+                } else {
+                    lpn
+                };
+                TraceRequest::new(
+                    SimTime::from_nanos(i * 900),
+                    op,
+                    LogicalPage(lpn.min(total - 4)),
+                    if i % 7 == 0 { 4 } else { 1 },
+                )
+            })
+            .collect()
+    }
+
+    fn run_sharded(workers: u32, n: u64) -> RunReport {
+        let mut cfg = ArrayConfig::small_test();
+        cfg.workers = Some(workers);
+        let out = crate::array::Array::new(cfg, ManagementMode::Autonomic)
+            .run_verified(&cross_domain_trace(n));
+        out.integrity.expect("sharded run keeps FTL metadata intact");
+        out.report
+    }
+
+    #[test]
+    fn small_test_config_is_eligible() {
+        // small_test spans multiple switches and keeps faults quiet.
+        assert!(eligible(&ArrayConfig::small_test()));
+    }
+
+    #[test]
+    fn single_switch_and_zero_lookahead_fall_back() {
+        let mut cfg = ArrayConfig::small_test();
+        cfg.shape.topology.switches = 1;
+        assert!(!eligible(&cfg));
+
+        let mut cfg = ArrayConfig::small_test();
+        cfg.pcie.rc_route_ns = 0;
+        assert!(!eligible(&cfg));
+    }
+
+    #[test]
+    fn shard_of_maps_switch_major_regions() {
+        let cfg = ArrayConfig::small_test();
+        let root = RootNode::new(&cfg);
+        let per_cluster = cfg.shape.pages_per_cluster();
+        let cps = cfg.shape.topology.clusters_per_switch as u64;
+        assert_eq!(root.shard_of(0), 1);
+        assert_eq!(root.shard_of(per_cluster * cps - 1), 1);
+        assert_eq!(root.shard_of(per_cluster * cps), 2);
+    }
+
+    #[test]
+    fn sharded_results_invariant_to_worker_count() {
+        let one = run_sharded(1, 600);
+        assert_eq!(one.completed(), 600);
+        for workers in [2, 3, 8] {
+            let many = run_sharded(workers, 600);
+            assert_eq!(one, many, "report differs at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn sharded_completions_match_serial_count() {
+        let serial = crate::array::Array::new(ArrayConfig::small_test(), ManagementMode::Autonomic)
+            .run(&cross_domain_trace(400));
+        let sharded = run_sharded(2, 400);
+        assert_eq!(serial.completed(), sharded.completed());
+        assert_eq!(serial.reads(), sharded.reads());
+        assert_eq!(serial.writes(), sharded.writes());
+        // Latencies agree closely (the partition only re-homes FTL and
+        // autonomic state, not the pipeline timing model).
+        let a = serial.mean_latency_us();
+        let b = sharded.mean_latency_us();
+        assert!(
+            (a - b).abs() / a < 0.05,
+            "serial {a}us vs sharded {b}us diverge more than 5%"
+        );
+    }
+}

@@ -1,0 +1,486 @@
+//! Conservative parallel shard executor.
+//!
+//! Splits one simulation into independent *shards*, each owning its own
+//! event queue, and advances them in lock-step windows: if `T` is the
+//! earliest pending event across all shards and `L` the minimum
+//! cross-shard link latency (the *lookahead*), every shard may safely
+//! execute all local events in `[T, T + L)` — no message sent during the
+//! window can arrive before it ends. Cross-shard traffic travels in
+//! [`Envelope`]s through per-sender [`Outbox`]es and is delivered in
+//! `(timestamp, seq, sender)` order, so the merged stream is a pure
+//! function of the shard states and never of worker scheduling: one
+//! worker or many, the simulation is bit-for-bit identical.
+//!
+//! The executor is deliberately topology-agnostic: a [`Shard`] is
+//! anything that can report its next event time, run a bounded window,
+//! and accept messages. `triplea-core` maps PCI-E switch domains onto
+//! shards and derives the lookahead from the root-complex routing
+//! latency.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+use crate::time::{Nanos, SimTime};
+
+/// One cross-shard message in flight: the payload plus the ordering key
+/// `(at, seq, src)` that makes delivery deterministic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Simulated arrival time at the destination shard. Conservative
+    /// synchronisation guarantees `at >= horizon` of the window that
+    /// sent it, so the destination has not yet simulated past it.
+    pub at: SimTime,
+    /// Sending shard index.
+    pub src: u32,
+    /// Per-sender sequence number; preserves each sender's send order
+    /// when arrival times tie.
+    pub seq: u32,
+    /// The payload.
+    pub msg: M,
+}
+
+impl<M> Envelope<M> {
+    /// The `(timestamp, seq, sender)` key envelopes are delivered in.
+    #[inline]
+    pub fn order_key(&self) -> (SimTime, u32, u32) {
+        (self.at, self.seq, self.src)
+    }
+}
+
+/// Sender-side buffer for one shard's outgoing messages, bucketed by
+/// destination. Buffers are reused across windows, so the steady-state
+/// push/drain cycle allocates nothing (see `sim/tests/zero_alloc.rs`).
+#[derive(Debug)]
+pub struct Outbox<M> {
+    src: u32,
+    seq: u32,
+    buckets: Vec<Vec<Envelope<M>>>,
+}
+
+impl<M> Outbox<M> {
+    /// An outbox for shard `src` in a topology of `shards` shards.
+    pub fn new(src: u32, shards: usize) -> Self {
+        Outbox {
+            src,
+            seq: 0,
+            buckets: (0..shards).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Queues `msg` for delivery to shard `dst` at simulated time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is out of range.
+    #[inline]
+    pub fn send(&mut self, dst: usize, at: SimTime, msg: M) {
+        let env = Envelope {
+            at,
+            src: self.src,
+            seq: self.seq,
+            msg,
+        };
+        self.seq = self.seq.wrapping_add(1);
+        self.buckets[dst].push(env);
+    }
+
+    /// Number of destination shards this outbox can address.
+    pub fn shard_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Messages currently buffered across all destinations.
+    pub fn pending(&self) -> usize {
+        self.buckets.iter().map(Vec::len).sum()
+    }
+
+    /// Moves every buffered envelope bound for `dst` into `sink`,
+    /// keeping the bucket's capacity for reuse.
+    #[inline]
+    pub fn drain_to(&mut self, dst: usize, sink: &mut Vec<Envelope<M>>) {
+        sink.append(&mut self.buckets[dst]);
+    }
+}
+
+/// One conservatively synchronised partition of a simulation.
+///
+/// Implementations own their local event queue; the executor only ever
+/// asks three things of them, all through `&mut self`, so shards need no
+/// interior mutability.
+pub trait Shard: Send {
+    /// Payload type exchanged between shards.
+    type Msg: Send;
+
+    /// Simulated time of the earliest pending local event, or `None`
+    /// when the shard is idle.
+    fn next_event_time(&self) -> Option<SimTime>;
+
+    /// Executes every local event strictly before `horizon`, pushing any
+    /// cross-shard messages produced into `out`. A conservative shard
+    /// must never emit an envelope with `at < horizon`.
+    fn run_window(&mut self, horizon: SimTime, out: &mut Outbox<Self::Msg>);
+
+    /// Accepts one cross-shard envelope, scheduling it as a local event
+    /// at `env.at`. Envelopes arrive in `(at, seq, src)` order.
+    fn deliver(&mut self, env: Envelope<Self::Msg>);
+}
+
+/// Outcome counters from [`run_conservative`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardRunStats {
+    /// Synchronisation windows executed.
+    pub windows: u64,
+    /// Cross-shard envelopes delivered.
+    pub messages: u64,
+    /// Envelopes that arrived with `at` earlier than the horizon their
+    /// receiver had already simulated to — causality violations. Always
+    /// zero when every shard respects the configured lookahead; exposed
+    /// so property tests can assert exactly that.
+    pub late_deliveries: u64,
+    /// Worker threads actually used (requested count clamped to the
+    /// shard count).
+    pub workers: usize,
+}
+
+/// Runs `shards` to completion (or to `until`) under conservative
+/// synchronisation with the given `lookahead`, using `workers` threads.
+///
+/// Every window: the executor finds the global minimum next-event time
+/// `T`, sets the horizon `H = min(T + lookahead, until)`, lets every
+/// shard execute `[T, H)` in parallel, then exchanges and delivers the
+/// produced envelopes in `(at, seq, src)` order. The result is
+/// independent of `workers` by construction.
+///
+/// `workers <= 1` runs everything on the calling thread with zero
+/// synchronisation overhead; `workers > 1` partitions shards round-robin
+/// over scoped threads. Oversubscribing the machine is safe — the
+/// barriers block rather than spin — it just stops paying off.
+///
+/// # Panics
+///
+/// Panics if `lookahead == 0` (the window would be empty and no shard
+/// could ever advance) or if `shards` is empty.
+pub fn run_conservative<S: Shard>(
+    shards: &mut [S],
+    lookahead: Nanos,
+    workers: usize,
+    until: SimTime,
+) -> ShardRunStats {
+    assert!(lookahead > 0, "conservative execution needs lookahead > 0");
+    assert!(!shards.is_empty(), "no shards to run");
+    let workers = workers.clamp(1, shards.len());
+    if workers == 1 {
+        run_serial(shards, lookahead, until)
+    } else {
+        run_parallel(shards, lookahead, workers, until)
+    }
+}
+
+#[inline]
+fn horizon(t: SimTime, lookahead: Nanos, until: SimTime) -> SimTime {
+    SimTime::from_nanos(t.as_nanos().saturating_add(lookahead)).min(until)
+}
+
+fn run_serial<S: Shard>(shards: &mut [S], lookahead: Nanos, until: SimTime) -> ShardRunStats {
+    let n = shards.len();
+    let mut outboxes: Vec<Outbox<S::Msg>> =
+        (0..n).map(|i| Outbox::new(i as u32, n)).collect();
+    let mut scratch: Vec<Envelope<S::Msg>> = Vec::new();
+    let mut stats = ShardRunStats {
+        workers: 1,
+        ..ShardRunStats::default()
+    };
+    loop {
+        let t = shards.iter().filter_map(Shard::next_event_time).min();
+        let Some(t) = t else { break };
+        if t >= until {
+            break;
+        }
+        let h = horizon(t, lookahead, until);
+        for (s, out) in shards.iter_mut().zip(outboxes.iter_mut()) {
+            s.run_window(h, out);
+        }
+        stats.windows += 1;
+        for (r, shard) in shards.iter_mut().enumerate() {
+            scratch.clear();
+            for out in outboxes.iter_mut() {
+                out.drain_to(r, &mut scratch);
+            }
+            scratch.sort_unstable_by_key(Envelope::order_key);
+            for env in scratch.drain(..) {
+                stats.messages += 1;
+                if env.at < h {
+                    stats.late_deliveries += 1;
+                }
+                shard.deliver(env);
+            }
+        }
+    }
+    stats
+}
+
+/// Shared state for the threaded executor. Two min-reduction slots
+/// alternate by window parity: slot `w % 2` is consumed at window `w`'s
+/// first barrier and reset by the second barrier's leader, two barriers
+/// before its next use — so two barriers per window suffice.
+struct Sync {
+    barrier: Barrier,
+    next_min: [AtomicU64; 2],
+    messages: AtomicU64,
+    late: AtomicU64,
+    windows: AtomicU64,
+}
+
+fn run_parallel<S: Shard>(
+    shards: &mut [S],
+    lookahead: Nanos,
+    workers: usize,
+    until: SimTime,
+) -> ShardRunStats {
+    let n = shards.len();
+    let inboxes: Vec<Mutex<Vec<Envelope<S::Msg>>>> =
+        (0..n).map(|_| Mutex::new(Vec::new())).collect();
+    let sync = Sync {
+        barrier: Barrier::new(workers),
+        next_min: [AtomicU64::new(u64::MAX), AtomicU64::new(u64::MAX)],
+        messages: AtomicU64::new(0),
+        late: AtomicU64::new(0),
+        windows: AtomicU64::new(0),
+    };
+
+    // Round-robin partition: worker w owns shards w, w+workers, …
+    // Each entry keeps its global shard index for outbox addressing.
+    let mut parts: Vec<Vec<(usize, &mut S)>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, s) in shards.iter_mut().enumerate() {
+        parts[i % workers].push((i, s));
+    }
+
+    std::thread::scope(|scope| {
+        for part in parts {
+            let sync = &sync;
+            let inboxes = &inboxes;
+            scope.spawn(move || {
+                worker_loop(part, sync, inboxes, n, lookahead, until);
+            });
+        }
+    });
+
+    ShardRunStats {
+        windows: sync.windows.load(Ordering::Relaxed),
+        messages: sync.messages.load(Ordering::Relaxed),
+        late_deliveries: sync.late.load(Ordering::Relaxed),
+        workers,
+    }
+}
+
+fn worker_loop<S: Shard>(
+    mut part: Vec<(usize, &mut S)>,
+    sync: &Sync,
+    inboxes: &[Mutex<Vec<Envelope<S::Msg>>>],
+    n: usize,
+    lookahead: Nanos,
+    until: SimTime,
+) {
+    let mut outboxes: Vec<Outbox<S::Msg>> = part
+        .iter()
+        .map(|(i, _)| Outbox::new(*i as u32, n))
+        .collect();
+    let mut scratch: Vec<Envelope<S::Msg>> = Vec::new();
+    let mut window: u64 = 0;
+    loop {
+        // Phase 1: global min next-event time via an atomic reduction.
+        let slot = &sync.next_min[(window % 2) as usize];
+        let local = part
+            .iter()
+            .filter_map(|(_, s)| s.next_event_time())
+            .min()
+            .map_or(u64::MAX, SimTime::as_nanos);
+        slot.fetch_min(local, Ordering::AcqRel);
+        sync.barrier.wait();
+        let t = slot.load(Ordering::Acquire);
+        if t == u64::MAX || SimTime::from_nanos(t) >= until {
+            break;
+        }
+        let h = horizon(SimTime::from_nanos(t), lookahead, until);
+
+        // Phase 2: run the window, then publish outgoing envelopes.
+        for ((_, s), out) in part.iter_mut().zip(outboxes.iter_mut()) {
+            s.run_window(h, out);
+        }
+        for out in outboxes.iter_mut() {
+            for (dst, inbox) in inboxes.iter().enumerate() {
+                if out.buckets[dst].is_empty() {
+                    continue;
+                }
+                out.drain_to(dst, &mut inbox.lock().unwrap());
+            }
+        }
+        let leader = sync.barrier.wait().is_leader();
+        if leader {
+            // Safe to reset: every worker read `t` before this barrier,
+            // and this slot is next written two barriers from now.
+            slot.store(u64::MAX, Ordering::Release);
+            sync.windows.fetch_add(1, Ordering::Relaxed);
+        }
+
+        // Phase 3: drain own shards' inboxes in deterministic order.
+        // Concurrent workers only touch their own shards here, so no
+        // further barrier is needed before the next window's reduction.
+        let mut messages = 0u64;
+        let mut late = 0u64;
+        for (i, s) in part.iter_mut() {
+            scratch.clear();
+            {
+                let mut inbox = inboxes[*i].lock().unwrap();
+                std::mem::swap(&mut *inbox, &mut scratch);
+            }
+            scratch.sort_unstable_by_key(Envelope::order_key);
+            for env in scratch.drain(..) {
+                messages += 1;
+                if env.at < h {
+                    late += 1;
+                }
+                s.deliver(env);
+            }
+        }
+        if messages > 0 {
+            sync.messages.fetch_add(messages, Ordering::Relaxed);
+        }
+        if late > 0 {
+            sync.late.fetch_add(late, Ordering::Relaxed);
+        }
+        window += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::EventQueue;
+
+    /// Toy shard: a counter network. Each event carries a hop budget;
+    /// executing it bumps a checksum and forwards the remainder to the
+    /// next shard one `LINK_NS` away.
+    const LINK_NS: Nanos = 50;
+
+    struct Ring {
+        id: usize,
+        shards: usize,
+        queue: EventQueue<u32>,
+        checksum: u64,
+        executed: u64,
+    }
+
+    impl Ring {
+        fn new(id: usize, shards: usize) -> Self {
+            Ring {
+                id,
+                shards,
+                queue: EventQueue::new(),
+                checksum: 0,
+                executed: 0,
+            }
+        }
+    }
+
+    impl Shard for Ring {
+        type Msg = u32;
+
+        fn next_event_time(&self) -> Option<SimTime> {
+            self.queue.peek_time()
+        }
+
+        fn run_window(&mut self, horizon: SimTime, out: &mut Outbox<u32>) {
+            while self.queue.peek_time().is_some_and(|t| t < horizon) {
+                let (t, hops) = self.queue.pop().unwrap();
+                self.executed += 1;
+                self.checksum = self
+                    .checksum
+                    .wrapping_mul(0x100000001B3)
+                    .wrapping_add(t.as_nanos() ^ hops as u64);
+                if hops > 0 {
+                    out.send((self.id + 1) % self.shards, t + LINK_NS, hops - 1);
+                }
+            }
+        }
+
+        fn deliver(&mut self, env: Envelope<u32>) {
+            self.queue.push(env.at, env.msg);
+        }
+    }
+
+    fn seeded_ring(shards: usize) -> Vec<Ring> {
+        let mut v: Vec<Ring> = (0..shards).map(|i| Ring::new(i, shards)).collect();
+        // A deterministic splay of initial events, several per shard.
+        for (i, r) in v.iter_mut().enumerate() {
+            for k in 0..7u64 {
+                let at = SimTime::from_nanos(1 + (i as u64 * 13 + k * 31) % 97);
+                r.queue.push(at, (3 + (i as u32 + k as u32) % 5) * 2);
+            }
+        }
+        v
+    }
+
+    fn run(shards: usize, workers: usize) -> (Vec<u64>, Vec<u64>, ShardRunStats) {
+        let mut ring = seeded_ring(shards);
+        let stats = run_conservative(&mut ring, LINK_NS, workers, SimTime::MAX);
+        (
+            ring.iter().map(|r| r.checksum).collect(),
+            ring.iter().map(|r| r.executed).collect(),
+            stats,
+        )
+    }
+
+    #[test]
+    fn results_invariant_to_worker_count() {
+        let (sums1, execs1, stats1) = run(5, 1);
+        for workers in [2, 3, 8] {
+            let (sums, execs, stats) = run(5, workers);
+            assert_eq!(sums, sums1, "checksums differ at {workers} workers");
+            assert_eq!(execs, execs1);
+            assert_eq!(stats.messages, stats1.messages);
+            assert_eq!(stats.late_deliveries, 0);
+        }
+        assert_eq!(stats1.late_deliveries, 0);
+        assert!(stats1.messages > 0, "test should exercise cross-shard traffic");
+    }
+
+    #[test]
+    fn worker_count_clamps_to_shards() {
+        let (_, _, stats) = run(3, 64);
+        assert_eq!(stats.workers, 3);
+    }
+
+    #[test]
+    fn until_bounds_execution() {
+        let mut ring = seeded_ring(4);
+        let until = SimTime::from_nanos(120);
+        run_conservative(&mut ring, LINK_NS, 1, until);
+        for r in &ring {
+            assert!(r.queue.peek_time().is_none_or(|t| t >= until));
+        }
+    }
+
+    #[test]
+    fn envelope_order_is_timestamp_seq_sender() {
+        let mut a: Outbox<u8> = Outbox::new(2, 3);
+        let mut b: Outbox<u8> = Outbox::new(1, 3);
+        a.send(0, SimTime::from_nanos(10), 1);
+        a.send(0, SimTime::from_nanos(10), 2);
+        b.send(0, SimTime::from_nanos(5), 3);
+        let mut sink = Vec::new();
+        a.drain_to(0, &mut sink);
+        b.drain_to(0, &mut sink);
+        sink.sort_unstable_by_key(Envelope::order_key);
+        assert_eq!(sink.iter().map(|e| e.msg).collect::<Vec<_>>(), [3, 1, 2]);
+        assert_eq!(a.pending(), 0);
+        assert_eq!(b.pending(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead > 0")]
+    fn zero_lookahead_rejected() {
+        let mut ring = seeded_ring(2);
+        run_conservative(&mut ring, 0, 1, SimTime::MAX);
+    }
+}

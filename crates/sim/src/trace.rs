@@ -25,8 +25,7 @@
 //! integer-only formatting, so the artifact bytes are identical across
 //! platforms and across any harness thread count.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use crate::stats::{Histogram, TimeSeries};
 use crate::time::{Nanos, SimTime};
@@ -726,35 +725,38 @@ impl Recorder {
 /// holds one (inside its [`TracePort`]); the engine keeps the original
 /// and harvests it at the end of the run.
 ///
-/// The simulation is single-threaded, so a plain `Rc<RefCell<…>>` is
-/// sufficient and adds no synchronization cost.
+/// Backed by `Arc<Mutex<…>>` so traced components stay `Send` — the
+/// sharded executor moves engines onto worker threads, and a `Send`
+/// bound on the whole engine is how that stays `unsafe`-free. Recorded
+/// runs are themselves single-threaded (sharding falls back to serial
+/// when a recorder is attached), so the lock is never contended.
 #[derive(Clone, Debug)]
-pub struct SharedRecorder(Rc<RefCell<Recorder>>);
+pub struct SharedRecorder(Arc<Mutex<Recorder>>);
 
 impl SharedRecorder {
     /// Creates a recorder and wraps it for sharing.
     pub fn new(cfg: TraceConfig) -> Self {
-        SharedRecorder(Rc::new(RefCell::new(Recorder::new(cfg))))
+        SharedRecorder(Arc::new(Mutex::new(Recorder::new(cfg))))
     }
 
     /// See [`Recorder::set_now`].
     pub fn set_now(&self, now: SimTime) {
-        self.0.borrow_mut().set_now(now);
+        self.0.lock().unwrap().set_now(now);
     }
 
     /// See [`Recorder::emit`].
     pub fn emit(&self, scope: TraceScope, kind: TraceEventKind) {
-        self.0.borrow_mut().emit(scope, kind);
+        self.0.lock().unwrap().emit(scope, kind);
     }
 
     /// See [`Recorder::emit_at`].
     pub fn emit_at(&self, at: SimTime, scope: TraceScope, kind: TraceEventKind) {
-        self.0.borrow_mut().emit_at(at, scope, kind);
+        self.0.lock().unwrap().emit_at(at, scope, kind);
     }
 
     /// A snapshot of the recorder's current state.
     pub fn snapshot(&self) -> Recorder {
-        self.0.borrow().clone()
+        self.0.lock().unwrap().clone()
     }
 }
 
